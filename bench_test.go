@@ -1,0 +1,105 @@
+// Benchmarks regenerating every experiment table of EXPERIMENTS.md — one
+// testing.B benchmark per table/figure. Each iteration runs the complete
+// experiment (all its simulation runs) and fails the benchmark if the
+// measured shape stops matching the paper's claim, so
+// `go test -bench=. -benchmem` doubles as the reproduction gate.
+package mobilecongest
+
+import (
+	"testing"
+
+	"mobilecongest/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tb, err := e.Run(int64(42 + i))
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !tb.Pass {
+			b.Fatalf("%s failed its claim:\n%s", id, tb.Render())
+		}
+	}
+}
+
+// BenchmarkT1StaticToMobile regenerates Table T1 (Theorem 1.2): the
+// static-to-mobile security compiler's (r', f') trade-off.
+func BenchmarkT1StaticToMobile(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkT2Extraction regenerates Table T2 (Theorem 2.1): the algebraic
+// perfect-security certificate of the key extractor.
+func BenchmarkT2Extraction(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkT3Unicast regenerates Table T3 (Lemma A.3): mobile-secure
+// unicast rounds and congestion.
+func BenchmarkT3Unicast(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkT4Broadcast regenerates Table T4 (Theorem A.4 variant):
+// mobile-secure broadcast with the k > f*eta share margin.
+func BenchmarkT4Broadcast(b *testing.B) { benchExperiment(b, "T4") }
+
+// BenchmarkT5CongestionSensitive regenerates Table T5 (Theorem 1.3): the
+// congestion-sensitive compiler with traffic hiding.
+func BenchmarkT5CongestionSensitive(b *testing.B) { benchExperiment(b, "T5") }
+
+// BenchmarkT6CycleCover regenerates Table T6 (Theorems 1.4/5.5): the FT
+// cycle-cover compiler's exact round formula.
+func BenchmarkT6CycleCover(b *testing.B) { benchExperiment(b, "T6") }
+
+// BenchmarkT7TreePacking regenerates Table T7 (Lemma 3.10 / Theorem C.2):
+// tree packing quality across graph families.
+func BenchmarkT7TreePacking(b *testing.B) { benchExperiment(b, "T7") }
+
+// BenchmarkT8Sketches regenerates Table T8 (Theorem 3.4): l0-sampling
+// uniformity and sparse-recovery exactness.
+func BenchmarkT8Sketches(b *testing.B) { benchExperiment(b, "T8") }
+
+// BenchmarkT9ByzantineCompiler regenerates Table T9 (Theorem 3.5): the
+// compiler matrix over payloads, topologies, and adversary strategies.
+func BenchmarkT9ByzantineCompiler(b *testing.B) { benchExperiment(b, "T9") }
+
+// BenchmarkT10DistributedPacking regenerates Table T10 (Appendix C /
+// Corollary 3.9(ii)): the distributed packing preprocessing pipeline.
+func BenchmarkT10DistributedPacking(b *testing.B) { benchExperiment(b, "T10") }
+
+// BenchmarkT11Indistinguishability regenerates Table T11 (Theorem 1.2,
+// statistical side): chi-square view comparison with a negative control.
+func BenchmarkT11Indistinguishability(b *testing.B) { benchExperiment(b, "T11") }
+
+// BenchmarkF1Clique regenerates Figure F1 (Theorem 1.6): clique compiler
+// overhead versus n at f = n/4.
+func BenchmarkF1Clique(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkF2Expander regenerates Figure F2 (Theorem 1.7): the end-to-end
+// expander pipeline.
+func BenchmarkF2Expander(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkF3MismatchDecay regenerates Figure F3 (Lemma 3.8): geometric
+// decay of per-iteration corrections.
+func BenchmarkF3MismatchDecay(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkF4Rewind regenerates Figure F4 (Theorem 4.1): transcript growth
+// and rewinds under bursty round-error-rate adversaries.
+func BenchmarkF4Rewind(b *testing.B) { benchExperiment(b, "F4") }
+
+// BenchmarkF5RSThreshold regenerates Figure F5 (Theorem 3.2 contract): the
+// RS-substitute's corruption threshold.
+func BenchmarkF5RSThreshold(b *testing.B) { benchExperiment(b, "F5") }
+
+// BenchmarkA1SketchAblation regenerates Table A1: sparse-recovery versus
+// l0-sampling correction cost.
+func BenchmarkA1SketchAblation(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2Repetition regenerates Table A2: the rsim repetition factor's
+// reliability/cost trade.
+func BenchmarkA2Repetition(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkA3RepScaling regenerates Table A3: compiler rounds scale linearly
+// in the Rep knob with correctness at every setting.
+func BenchmarkA3RepScaling(b *testing.B) { benchExperiment(b, "A3") }

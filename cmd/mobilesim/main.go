@@ -1,0 +1,74 @@
+// Command mobilesim runs the reproduction experiment suite: one experiment
+// per theorem of "Distributed CONGEST Algorithms against Mobile Adversaries"
+// (Fischer-Parter, PODC 2023). Each experiment prints a table whose shape is
+// checked against the theorem's claim.
+//
+// Usage:
+//
+//	mobilesim                 # run every experiment
+//	mobilesim -list           # list experiment IDs
+//	mobilesim -run T1,F3      # run a subset
+//	mobilesim -seed 7         # change the master seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mobilecongest/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list experiments and exit")
+	only := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Int64("seed", 42, "master random seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	var todo []harness.Experiment
+	if *only == "" {
+		todo = harness.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := harness.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	failures := 0
+	for _, e := range todo {
+		tb, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		fmt.Println(tb.Render())
+		if !tb.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		return 1
+	}
+	fmt.Printf("all %d experiments match their claims\n", len(todo))
+	return 0
+}

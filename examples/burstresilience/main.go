@@ -1,0 +1,67 @@
+// burstresilience demonstrates Theorem 4.1: resilience to a bounded
+// round-error *rate*, where the adversary stays quiet for long stretches and
+// then owns several edges outright for hundreds of consecutive rounds with
+// consistent (swap) corruption — far beyond any fixed per-round budget. The
+// rewind-if-error compiler holds its transcripts through the storm and
+// finishes the simulation correctly within its 5R global rounds.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/algorithms"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+	"mobilecongest/internal/rewind"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "burstresilience:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 10
+	g := graph.Clique(n)
+	sh := rewind.CliqueShared(n)
+	r := 3 // payload rounds
+
+	// Storm: silence, then 4 owned edges with consistent corruption for 300
+	// consecutive physical rounds (covering ~2 of the compiler's global
+	// rounds), then silence again.
+	storm := make([]int, 2500)
+	for i := 0; i < 300; i++ {
+		storm[i+200] = 4
+	}
+	owned := []graph.Edge{
+		graph.NewEdge(0, 1), graph.NewEdge(2, 3), graph.NewEdge(4, 5), graph.NewEdge(6, 7),
+	}
+	adv := adversary.NewRoundErrorRate(g, 1300, storm, 21, adversary.SelectFixed(owned), adversary.CorruptSwap)
+
+	res, err := congest.Run(congest.Config{
+		Graph: g, Seed: 21, Shared: sh, Adversary: adv, MaxRounds: 1 << 24,
+	}, rewind.Compile(algorithms.FloodMax(r), rewind.Config{R: r, F: 1, Rep: 5}))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("clique n=%d, storm: 4 owned edges x 300 rounds (%d edge-rounds corrupted)\n",
+		n, res.Stats.CorruptedEdgeRounds)
+	for i, o := range res.Outputs {
+		out := o.(rewind.Output)
+		if out.Payload.(uint64) != uint64(n-1) {
+			return fmt.Errorf("node %d finished with %v", i, out.Payload)
+		}
+		if i == 0 {
+			fmt.Printf("node 0 transcript lengths per global round: %v (rewinds: %d)\n",
+				out.Trace.Lens, out.Trace.Rewinds)
+		}
+	}
+	fmt.Printf("all %d nodes computed the correct result through the storm in %d rounds\n", n, res.Stats.Rounds)
+	fmt.Println("(the flat stretch in the transcript trace is the storm: progress holds, then resumes)")
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package adversary implements the adversarial settings of Section 1.4:
+// static and mobile eavesdroppers (passive, view-recording) and static,
+// mobile, and round-error-rate byzantine adversaries (active, message-
+// corrupting), together with the edge-selection strategies the experiments
+// exercise. All adversaries are deterministic given their seed and know the
+// topology and the algorithm, but never the nodes' private randomness —
+// exactly the oblivious-to-randomness model of the paper.
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// Observation is one eavesdropped directed message.
+type Observation struct {
+	Round int
+	Edge  graph.DirEdge
+	Data  congest.Msg
+}
+
+// Eavesdropper passively records the traffic on f edges per round. With a
+// nil schedule it picks edges by strategy; with a fixed schedule it follows
+// it (used to replay identical schedules across runs for the
+// indistinguishability experiments).
+type Eavesdropper struct {
+	g        *graph.Graph
+	f        int
+	rng      *rand.Rand
+	schedule [][]graph.Edge // schedule[i] = edges controlled in round i (cycled)
+	view     []Observation
+	static   bool
+	fixed    []graph.Edge // chosen lazily for static mode
+}
+
+var (
+	_ congest.Adversary      = (*Eavesdropper)(nil)
+	_ congest.PerRoundBudget = (*Eavesdropper)(nil)
+)
+
+// NewMobileEavesdropper listens on f fresh random edges every round.
+func NewMobileEavesdropper(g *graph.Graph, f int, seed int64) *Eavesdropper {
+	return &Eavesdropper{g: g, f: f, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewStaticEavesdropper listens on one fixed random set of f edges.
+func NewStaticEavesdropper(g *graph.Graph, f int, seed int64) *Eavesdropper {
+	return &Eavesdropper{g: g, f: f, rng: rand.New(rand.NewSource(seed)), static: true}
+}
+
+// NewScheduledEavesdropper follows an explicit per-round schedule (cycled if
+// the run outlasts it).
+func NewScheduledEavesdropper(g *graph.Graph, schedule [][]graph.Edge) *Eavesdropper {
+	f := 0
+	for _, s := range schedule {
+		if len(s) > f {
+			f = len(s)
+		}
+	}
+	return &Eavesdropper{g: g, f: f, schedule: schedule}
+}
+
+// PerRoundEdges implements congest.PerRoundBudget. Eavesdroppers never
+// modify traffic, so the budget is vacuous, but declaring it documents f.
+func (a *Eavesdropper) PerRoundEdges() int { return a.f }
+
+// ControlledEdges returns the edges the adversary listens on in the given
+// round.
+func (a *Eavesdropper) ControlledEdges(round int) []graph.Edge {
+	switch {
+	case a.schedule != nil:
+		if len(a.schedule) == 0 {
+			return nil
+		}
+		return a.schedule[round%len(a.schedule)]
+	case a.static:
+		if a.fixed == nil {
+			a.fixed = randomEdges(a.g, a.f, a.rng)
+		}
+		return a.fixed
+	default:
+		return randomEdges(a.g, a.f, a.rng)
+	}
+}
+
+// Intercept records the messages on the controlled edges and delivers the
+// traffic unchanged.
+func (a *Eavesdropper) Intercept(round int, tr congest.Traffic) congest.Traffic {
+	for _, e := range a.ControlledEdges(round) {
+		for _, de := range []graph.DirEdge{{From: e.U, To: e.V}, {From: e.V, To: e.U}} {
+			if m, ok := tr[de]; ok {
+				a.view = append(a.view, Observation{Round: round, Edge: de, Data: m.Clone()})
+			}
+		}
+	}
+	return tr
+}
+
+// View returns everything the eavesdropper saw.
+func (a *Eavesdropper) View() []Observation { return a.view }
+
+// ViewBytes flattens the view into a canonical byte string for
+// distribution-comparison tests.
+func (a *Eavesdropper) ViewBytes() []byte {
+	obs := make([]Observation, len(a.view))
+	copy(obs, a.view)
+	sort.Slice(obs, func(i, j int) bool {
+		if obs[i].Round != obs[j].Round {
+			return obs[i].Round < obs[j].Round
+		}
+		if obs[i].Edge.From != obs[j].Edge.From {
+			return obs[i].Edge.From < obs[j].Edge.From
+		}
+		return obs[i].Edge.To < obs[j].Edge.To
+	})
+	var out []byte
+	for _, o := range obs {
+		out = congest.PutU32(out, uint32(o.Round))
+		out = congest.PutU32(out, uint32(o.Edge.From))
+		out = congest.PutU32(out, uint32(o.Edge.To))
+		out = append(out, o.Data...)
+	}
+	return out
+}
+
+func randomEdges(g *graph.Graph, f int, rng *rand.Rand) []graph.Edge {
+	edges := g.Edges()
+	if f >= len(edges) {
+		out := make([]graph.Edge, len(edges))
+		copy(out, edges)
+		return out
+	}
+	perm := rng.Perm(len(edges))[:f]
+	out := make([]graph.Edge, f)
+	for i, p := range perm {
+		out[i] = edges[p]
+	}
+	return out
+}

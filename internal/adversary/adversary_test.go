@@ -1,0 +1,268 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// chatter makes every node send its ID to every neighbour each round.
+func chatter(rounds int) congest.Protocol {
+	return func(rt congest.Runtime) {
+		var seen []uint64
+		for r := 0; r < rounds; r++ {
+			out := make(map[graph.NodeID]congest.Msg)
+			for _, v := range rt.Neighbors() {
+				out[v] = congest.U64Msg(uint64(rt.ID()))
+			}
+			in := rt.Exchange(out)
+			for _, m := range in {
+				seen = append(seen, congest.U64(m))
+			}
+		}
+		rt.SetOutput(seen)
+	}
+}
+
+func TestMobileEavesdropperRecordsWithinBudget(t *testing.T) {
+	g := graph.Clique(6)
+	eve := NewMobileEavesdropper(g, 2, 7)
+	_, err := congest.Run(congest.Config{Graph: g, Seed: 1, Adversary: eve}, chatter(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 edges/round x 2 directions x 5 rounds = at most 20 observations.
+	if len(eve.View()) > 20 {
+		t.Fatalf("view has %d observations, budget allows 20", len(eve.View()))
+	}
+	if len(eve.View()) == 0 {
+		t.Fatal("eavesdropper saw nothing on a chatty clique")
+	}
+	perRound := make(map[int]map[graph.Edge]bool)
+	for _, o := range eve.View() {
+		if perRound[o.Round] == nil {
+			perRound[o.Round] = make(map[graph.Edge]bool)
+		}
+		perRound[o.Round][o.Edge.Undirected()] = true
+	}
+	for r, edges := range perRound {
+		if len(edges) > 2 {
+			t.Fatalf("round %d: eavesdropped %d edges, budget 2", r, len(edges))
+		}
+	}
+}
+
+func TestStaticEavesdropperFixedSet(t *testing.T) {
+	g := graph.Clique(6)
+	eve := NewStaticEavesdropper(g, 3, 7)
+	e1 := eve.ControlledEdges(0)
+	e5 := eve.ControlledEdges(5)
+	if len(e1) != 3 {
+		t.Fatalf("controlled %d edges, want 3", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e5[i] {
+			t.Fatal("static eavesdropper changed its edge set")
+		}
+	}
+}
+
+func TestScheduledEavesdropper(t *testing.T) {
+	g := graph.Path(3)
+	sched := [][]graph.Edge{{graph.NewEdge(0, 1)}, {graph.NewEdge(1, 2)}}
+	eve := NewScheduledEavesdropper(g, sched)
+	if got := eve.ControlledEdges(0)[0]; got != graph.NewEdge(0, 1) {
+		t.Fatalf("round 0 edge = %v", got)
+	}
+	if got := eve.ControlledEdges(3)[0]; got != graph.NewEdge(1, 2) {
+		t.Fatalf("round 3 should cycle to schedule[1], got %v", got)
+	}
+}
+
+func TestByzantineFlipStaysWithinBudget(t *testing.T) {
+	g := graph.Clique(5)
+	adv := NewMobileByzantine(g, 2, 3, SelectRandom, CorruptFlip)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 1, Adversary: adv}, chatter(6))
+	if err != nil {
+		t.Fatal(err) // engine enforces budget; an error means we overspent
+	}
+	if res.Stats.CorruptedEdgeRounds == 0 {
+		t.Fatal("flip adversary corrupted nothing")
+	}
+	if res.Stats.CorruptedEdgeRounds > 12 {
+		t.Fatalf("corrupted %d edge-rounds, budget 12", res.Stats.CorruptedEdgeRounds)
+	}
+}
+
+func TestByzantineCorruptionVisible(t *testing.T) {
+	// With f = all edges of a 2-path and CorruptRandomize, node 1 should
+	// receive something different from node 0's true ID with high
+	// probability across rounds.
+	g := graph.Path(2)
+	adv := NewMobileByzantine(g, 1, 3, SelectRandom, CorruptRandomize)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 5, Adversary: adv}, chatter(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := res.Outputs[1].([]uint64)
+	diff := 0
+	for _, v := range seen {
+		if v != 0 {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("randomizing adversary never changed node 0's messages")
+	}
+}
+
+func TestRoundErrorRateBudget(t *testing.T) {
+	g := graph.Clique(4)
+	// Total budget 5, bursts of 3: spends 3, then 2, then nothing.
+	adv := NewRoundErrorRate(g, 5, []int{3}, 9, SelectRandom, CorruptFlip)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 2, Adversary: adv}, chatter(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CorruptedEdgeRounds > 5 {
+		t.Fatalf("spent %d edge-rounds, budget 5", res.Stats.CorruptedEdgeRounds)
+	}
+	if adv.Spent() != res.Stats.CorruptedEdgeRounds {
+		t.Fatalf("adversary accounting %d != engine accounting %d", adv.Spent(), res.Stats.CorruptedEdgeRounds)
+	}
+}
+
+func TestSelectBusiest(t *testing.T) {
+	g := graph.Path(3)
+	tr := congest.Traffic{
+		{From: 0, To: 1}: make(congest.Msg, 100),
+		{From: 1, To: 2}: make(congest.Msg, 5),
+	}
+	edges := SelectBusiest(nil, 0, g, tr, 1)
+	if len(edges) != 1 || edges[0] != graph.NewEdge(0, 1) {
+		t.Fatalf("busiest = %v, want (0,1)", edges)
+	}
+}
+
+func TestSelectIncident(t *testing.T) {
+	g := graph.Clique(5)
+	sel := SelectIncident(2)
+	edges := sel(nil, 0, g, nil, 3)
+	if len(edges) != 3 {
+		t.Fatalf("got %d edges, want 3", len(edges))
+	}
+	for _, e := range edges {
+		if e.U != 2 && e.V != 2 {
+			t.Fatalf("edge %v not incident to victim", e)
+		}
+	}
+}
+
+func TestSelectRotatingCoversAllEdges(t *testing.T) {
+	g := graph.Cycle(6)
+	sel := SelectRotating()
+	seen := make(map[graph.Edge]bool)
+	for r := 0; r < 6; r++ {
+		for _, e := range sel(nil, r, g, nil, 1) {
+			seen[e] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("rotation covered %d/6 edges", len(seen))
+	}
+}
+
+func TestCorruptDropAndInject(t *testing.T) {
+	m := congest.U64Msg(7)
+	f, b := CorruptDrop(nil, 0, graph.NewEdge(0, 1), m, m)
+	if f != nil || b != nil {
+		t.Fatal("drop did not drop")
+	}
+	fi, bi := CorruptInject(rand.New(rand.NewSource(1)), 0, graph.NewEdge(0, 1), nil, nil)
+	if len(fi) == 0 || len(bi) == 0 {
+		t.Fatal("inject returned nothing")
+	}
+}
+
+func TestCorruptSwap(t *testing.T) {
+	a, b := congest.U64Msg(1), congest.U64Msg(2)
+	f, w := CorruptSwap(nil, 0, graph.NewEdge(0, 1), a, b)
+	if congest.U64(f) != 2 || congest.U64(w) != 1 {
+		t.Fatal("swap did not swap")
+	}
+}
+
+func TestStaticByzantineFixedEdges(t *testing.T) {
+	g := graph.Clique(5)
+	adv := NewStaticByzantine(g, 2, 7, SelectRandom, CorruptFlip)
+	// Run twice: the touched edge set must be identical across rounds.
+	touched := make(map[graph.Edge]bool)
+	tr := congest.Traffic{}
+	for _, e := range g.Edges() {
+		tr[graph.DirEdge{From: e.U, To: e.V}] = congest.U64Msg(1)
+	}
+	for round := 0; round < 4; round++ {
+		out := adv.Intercept(round, tr)
+		for de, m := range out {
+			if congest.U64(m) != 1 {
+				touched[de.Undirected()] = true
+			}
+		}
+	}
+	if len(touched) > 2 {
+		t.Fatalf("static adversary touched %d distinct edges, budget 2", len(touched))
+	}
+}
+
+func TestViewBytesCanonical(t *testing.T) {
+	g := graph.Path(3)
+	eve := NewScheduledEavesdropper(g, [][]graph.Edge{{graph.NewEdge(0, 1), graph.NewEdge(1, 2)}})
+	tr := congest.Traffic{
+		{From: 0, To: 1}: congest.U64Msg(1),
+		{From: 2, To: 1}: congest.U64Msg(2),
+	}
+	eve.Intercept(0, tr)
+	b1 := eve.ViewBytes()
+	// A second eavesdropper observing the same traffic in a different map
+	// iteration order yields identical canonical bytes.
+	eve2 := NewScheduledEavesdropper(g, [][]graph.Edge{{graph.NewEdge(1, 2), graph.NewEdge(0, 1)}})
+	eve2.Intercept(0, tr)
+	b2 := eve2.ViewBytes()
+	if string(b1) != string(b2) {
+		t.Fatal("ViewBytes not canonical across observation orders")
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty view bytes despite observations")
+	}
+}
+
+func TestSwapAdversaryInEngine(t *testing.T) {
+	g := graph.Path(2)
+	adv := NewMobileByzantine(g, 1, 3, SelectFixed([]graph.Edge{graph.NewEdge(0, 1)}), CorruptSwap)
+	proto := func(rt congest.Runtime) {
+		out := map[graph.NodeID]congest.Msg{}
+		for _, v := range rt.Neighbors() {
+			out[v] = congest.U64Msg(uint64(rt.ID()) + 10)
+		}
+		in := rt.Exchange(out)
+		for _, m := range in {
+			rt.SetOutput(congest.U64(m))
+		}
+	}
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 1, Adversary: adv}, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each node receives its own value back.
+	if res.Outputs[0].(uint64) != 10 || res.Outputs[1].(uint64) != 11 {
+		t.Fatalf("swap not applied: %v", res.Outputs)
+	}
+}
+
+func TestMaxIntHelper(t *testing.T) {
+	if maxInt([]int{}) != 0 || maxInt([]int{3, 7, 2}) != 7 {
+		t.Fatal("maxInt wrong")
+	}
+}

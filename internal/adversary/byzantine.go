@@ -1,0 +1,161 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// Corruption mutates the two directed messages crossing a controlled edge
+// (either may be nil when nothing was sent) and returns their replacements.
+// Returning the inputs unchanged wastes the edge. The strategy sees the
+// whole round's traffic, matching the all-powerful byzantine adversary of
+// the paper.
+type Corruption func(rng *rand.Rand, round int, e graph.Edge, fwd, bwd congest.Msg) (congest.Msg, congest.Msg)
+
+// Selector picks which undirected edges to control this round, given the
+// full traffic.
+type Selector func(rng *rand.Rand, round int, g *graph.Graph, tr congest.Traffic, f int) []graph.Edge
+
+// Byzantine is an active adversary corrupting at most f edges per round
+// (mobile), a fixed f-set (static), or a total budget (round-error rate).
+type Byzantine struct {
+	g       *graph.Graph
+	f       int
+	rng     *rand.Rand
+	corrupt Corruption
+	select_ Selector
+	// static edge set, fixed after first selection when staticMode.
+	staticMode bool
+	fixed      []graph.Edge
+	// totalBudget > 0 switches to round-error-rate accounting; perRound is
+	// then only advisory for strategies (bursts may exceed it).
+	totalBudget int
+	spent       int
+	burst       []int // burst[i] = edges to corrupt in round i (cycled), for bursty strategies
+}
+
+var _ congest.Adversary = (*Byzantine)(nil)
+
+// NewMobileByzantine corrupts f fresh edges every round using the given
+// selector and corruption.
+func NewMobileByzantine(g *graph.Graph, f int, seed int64, sel Selector, cor Corruption) *Byzantine {
+	return &Byzantine{g: g, f: f, rng: rand.New(rand.NewSource(seed)), corrupt: cor, select_: sel}
+}
+
+// NewStaticByzantine corrupts one fixed set of f edges every round.
+func NewStaticByzantine(g *graph.Graph, f int, seed int64, sel Selector, cor Corruption) *Byzantine {
+	b := NewMobileByzantine(g, f, seed, sel, cor)
+	b.staticMode = true
+	return b
+}
+
+// NewRoundErrorRate corrupts at most total edge-rounds over the whole run,
+// spending burst[i%len(burst)] edges in round i (Section 4's "f per round on
+// average" adversary).
+func NewRoundErrorRate(g *graph.Graph, total int, burst []int, seed int64, sel Selector, cor Corruption) *Byzantine {
+	return &Byzantine{
+		g: g, f: maxInt(burst), rng: rand.New(rand.NewSource(seed)),
+		corrupt: cor, select_: sel, totalBudget: total, burst: burst,
+	}
+}
+
+func maxInt(s []int) int {
+	m := 0
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// PerRoundEdges implements congest.PerRoundBudget for static/mobile modes.
+func (b *Byzantine) PerRoundEdges() int {
+	if b.totalBudget > 0 {
+		// In total-budget mode the per-round bound is the largest burst.
+		return maxInt(b.burst)
+	}
+	return b.f
+}
+
+// TotalEdgeRounds implements congest.TotalBudget when in round-error-rate
+// mode (otherwise it returns a vacuous bound).
+func (b *Byzantine) TotalEdgeRounds() int {
+	if b.totalBudget > 0 {
+		return b.totalBudget
+	}
+	return 1 << 40
+}
+
+// Spent reports how many edge-rounds have been corrupted so far.
+func (b *Byzantine) Spent() int { return b.spent }
+
+// Intercept corrupts the selected edges' messages.
+func (b *Byzantine) Intercept(round int, tr congest.Traffic) congest.Traffic {
+	budget := b.f
+	if b.totalBudget > 0 {
+		budget = b.burst[round%len(b.burst)]
+		if rem := b.totalBudget - b.spent; budget > rem {
+			budget = rem
+		}
+	}
+	if budget <= 0 {
+		return tr
+	}
+	var edges []graph.Edge
+	if b.staticMode {
+		if b.fixed == nil {
+			b.fixed = b.select_(b.rng, round, b.g, tr, b.f)
+		}
+		edges = b.fixed
+	} else {
+		edges = b.select_(b.rng, round, b.g, tr, budget)
+	}
+	if len(edges) > budget {
+		edges = edges[:budget]
+	}
+	out := tr.Clone()
+	touched := 0
+	for _, e := range edges {
+		fwdKey := graph.DirEdge{From: e.U, To: e.V}
+		bwdKey := graph.DirEdge{From: e.V, To: e.U}
+		fwd, bwd := out[fwdKey], out[bwdKey]
+		nf, nb := b.corrupt(b.rng, round, e, fwd, bwd)
+		changed := false
+		if !msgEq(nf, fwd) {
+			changed = true
+			if nf == nil {
+				delete(out, fwdKey)
+			} else {
+				out[fwdKey] = nf
+			}
+		}
+		if !msgEq(nb, bwd) {
+			changed = true
+			if nb == nil {
+				delete(out, bwdKey)
+			} else {
+				out[bwdKey] = nb
+			}
+		}
+		if changed {
+			touched++
+		}
+	}
+	b.spent += touched
+	return out
+}
+
+func msgEq(a, b congest.Msg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

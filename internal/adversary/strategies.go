@@ -1,0 +1,145 @@
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// Selection strategies. All iterate traffic deterministically (sorted) so
+// runs are reproducible.
+
+// SelectRandom picks f uniformly random graph edges.
+func SelectRandom(rng *rand.Rand, _ int, g *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+	return randomEdges(g, f, rng)
+}
+
+// SelectBusiest picks the f edges carrying the most payload bytes this
+// round — a greedy "hit where it hurts" heuristic that tends to target the
+// compiler's control traffic.
+func SelectBusiest(_ *rand.Rand, _ int, _ *graph.Graph, tr congest.Traffic, f int) []graph.Edge {
+	load := make(map[graph.Edge]int)
+	for de, m := range tr {
+		load[de.Undirected()] += len(m)
+	}
+	edges := make([]graph.Edge, 0, len(load))
+	for e := range load {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if load[edges[i]] != load[edges[j]] {
+			return load[edges[i]] > load[edges[j]]
+		}
+		return lessEdge(edges[i], edges[j])
+	})
+	if len(edges) > f {
+		edges = edges[:f]
+	}
+	return edges
+}
+
+// SelectIncident concentrates all f corruptions on edges incident to one
+// victim node (the paper's root-targeting worst case for tree protocols).
+func SelectIncident(victim graph.NodeID) Selector {
+	return func(rng *rand.Rand, _ int, g *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+		nbs := g.Neighbors(victim)
+		edges := make([]graph.Edge, 0, f)
+		for _, v := range nbs {
+			if len(edges) == f {
+				break
+			}
+			edges = append(edges, graph.NewEdge(victim, v))
+		}
+		return edges
+	}
+}
+
+// SelectFixed always returns the given edges (truncated to budget).
+func SelectFixed(edges []graph.Edge) Selector {
+	return func(_ *rand.Rand, _ int, _ *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+		if len(edges) > f {
+			return edges[:f]
+		}
+		return edges
+	}
+}
+
+// SelectRotating sweeps the edge list round-robin, so over time every edge
+// gets corrupted — the "virus spreading through the network" pattern that
+// motivates the mobile model.
+func SelectRotating() Selector {
+	offset := 0
+	return func(_ *rand.Rand, _ int, g *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+		all := g.Edges()
+		if len(all) == 0 {
+			return nil
+		}
+		out := make([]graph.Edge, 0, f)
+		for i := 0; i < f && i < len(all); i++ {
+			out = append(out, all[(offset+i)%len(all)])
+		}
+		offset = (offset + f) % len(all)
+		return out
+	}
+}
+
+func lessEdge(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// Corruption strategies.
+
+// CorruptFlip XORs a random non-zero pattern into each present message —
+// guaranteed to change the payload.
+func CorruptFlip(rng *rand.Rand, _ int, _ graph.Edge, fwd, bwd congest.Msg) (congest.Msg, congest.Msg) {
+	return flip(rng, fwd), flip(rng, bwd)
+}
+
+func flip(rng *rand.Rand, m congest.Msg) congest.Msg {
+	if len(m) == 0 {
+		return m
+	}
+	out := m.Clone()
+	i := rng.Intn(len(out))
+	out[i] ^= byte(1 + rng.Intn(255))
+	return out
+}
+
+// CorruptRandomize replaces each present message with uniform random bytes
+// of the same length.
+func CorruptRandomize(rng *rand.Rand, _ int, _ graph.Edge, fwd, bwd congest.Msg) (congest.Msg, congest.Msg) {
+	return randomize(rng, fwd), randomize(rng, bwd)
+}
+
+func randomize(rng *rand.Rand, m congest.Msg) congest.Msg {
+	if len(m) == 0 {
+		return m
+	}
+	out := make(congest.Msg, len(m))
+	rng.Read(out)
+	return out
+}
+
+// CorruptDrop deletes both directions (message omission).
+func CorruptDrop(_ *rand.Rand, _ int, _ graph.Edge, _, _ congest.Msg) (congest.Msg, congest.Msg) {
+	return nil, nil
+}
+
+// CorruptSwap crosses the two directions, replaying each endpoint's message
+// back at the other's peer.
+func CorruptSwap(_ *rand.Rand, _ int, _ graph.Edge, fwd, bwd congest.Msg) (congest.Msg, congest.Msg) {
+	return bwd.Clone(), fwd.Clone()
+}
+
+// CorruptInject forges fixed-pattern messages in both directions even when
+// nothing was sent; length 9 avoids colliding with common word sizes.
+func CorruptInject(rng *rand.Rand, _ int, _ graph.Edge, _, _ congest.Msg) (congest.Msg, congest.Msg) {
+	forged := make(congest.Msg, 9)
+	rng.Read(forged)
+	return forged, forged.Clone()
+}

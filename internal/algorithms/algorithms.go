@@ -1,0 +1,238 @@
+// Package algorithms provides the fault-free CONGEST payload algorithms the
+// compilers are exercised on. Every protocol runs a fixed, globally known
+// number of rounds (exchanging on every edge each round where needed), which
+// is the synchrony discipline the paper's round-by-round simulations assume.
+package algorithms
+
+import (
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// FloodMax floods the maximum node ID for the given number of rounds; with
+// rounds >= diameter every node outputs n-1. This is the leader-election
+// payload.
+func FloodMax(rounds int) congest.Protocol {
+	return func(rt congest.Runtime) {
+		best := uint64(rt.ID())
+		for r := 0; r < rounds; r++ {
+			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
+			for _, v := range rt.Neighbors() {
+				out[v] = congest.U64Msg(best)
+			}
+			in := rt.Exchange(out)
+			for _, m := range in {
+				if v := congest.U64(m); v > best {
+					best = v
+				}
+			}
+		}
+		rt.SetOutput(best)
+	}
+}
+
+// Broadcast floods a value held by root to all nodes within the given number
+// of rounds (>= diameter for full coverage). Nodes without the value yet
+// send an explicit zero placeholder so traffic is input-independent in
+// volume; value 0 is reserved as "none".
+func Broadcast(root graph.NodeID, value uint64, rounds int) congest.Protocol {
+	return func(rt congest.Runtime) {
+		var have uint64
+		if rt.ID() == root {
+			have = value
+		}
+		for r := 0; r < rounds; r++ {
+			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
+			for _, v := range rt.Neighbors() {
+				out[v] = congest.U64Msg(have)
+			}
+			in := rt.Exchange(out)
+			for _, m := range in {
+				if v := congest.U64(m); v != 0 && have == 0 {
+					have = v
+				}
+			}
+		}
+		rt.SetOutput(have)
+	}
+}
+
+// BroadcastInput is Broadcast but the value comes from the root's Input()
+// (first 8 bytes) — used by the secure compilers whose experiments vary the
+// input to test indistinguishability.
+func BroadcastInput(root graph.NodeID, rounds int) congest.Protocol {
+	return func(rt congest.Runtime) {
+		var have uint64
+		if rt.ID() == root {
+			have = congest.U64(rt.Input())
+		}
+		for r := 0; r < rounds; r++ {
+			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
+			for _, v := range rt.Neighbors() {
+				out[v] = congest.U64Msg(have)
+			}
+			in := rt.Exchange(out)
+			for _, m := range in {
+				if v := congest.U64(m); v != 0 && have == 0 {
+					have = v
+				}
+			}
+		}
+		rt.SetOutput(have)
+	}
+}
+
+// BFSResult is the per-node output of the BFS tree protocol.
+type BFSResult struct {
+	Dist   int
+	Parent graph.NodeID
+}
+
+// BFS builds a breadth-first tree rooted at root in the given number of
+// rounds (>= eccentricity of root). Each node outputs its distance and
+// parent. Wire format: distance+1 (so 0 means "unreached").
+func BFS(root graph.NodeID, rounds int) congest.Protocol {
+	return func(rt congest.Runtime) {
+		dist := -1
+		parent := graph.NodeID(-1)
+		if rt.ID() == root {
+			dist = 0
+			parent = root
+		}
+		for r := 0; r < rounds; r++ {
+			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
+			for _, v := range rt.Neighbors() {
+				out[v] = congest.U64Msg(uint64(dist + 1))
+			}
+			in := rt.Exchange(out)
+			for _, from := range rt.Neighbors() {
+				m, ok := in[from]
+				if !ok {
+					continue
+				}
+				d := int(congest.U64(m))
+				if d > 0 && (dist < 0 || d < dist+1) { // neighbour at distance d-1
+					if dist < 0 || d-1+1 < dist {
+						dist = d
+						parent = from
+					}
+				}
+			}
+		}
+		rt.SetOutput(BFSResult{Dist: dist, Parent: parent})
+	}
+}
+
+// SumToRoot aggregates the sum of all node inputs (first 8 bytes each) to
+// the root over a BFS tree built on the fly, then broadcasts the total back;
+// every node outputs the global sum. The protocol runs 3*radius rounds:
+// radius to build the tree, radius for convergecast, radius for downcast —
+// executed as a single fixed schedule so all nodes stay in lock-step.
+func SumToRoot(root graph.NodeID, radius int) congest.Protocol {
+	return func(rt congest.Runtime) {
+		myVal := congest.U64(rt.Input())
+		// Phase 1: BFS layers.
+		dist := -1
+		parent := graph.NodeID(-1)
+		if rt.ID() == root {
+			dist = 0
+			parent = root
+		}
+		for r := 0; r < radius; r++ {
+			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
+			for _, v := range rt.Neighbors() {
+				out[v] = congest.U64Msg(uint64(dist + 1))
+			}
+			in := rt.Exchange(out)
+			for _, from := range rt.Neighbors() {
+				if m, ok := in[from]; ok {
+					d := int(congest.U64(m))
+					if d > 0 && (dist < 0 || d < dist) {
+						dist = d
+						parent = from
+					}
+				}
+			}
+		}
+		// Phase 2: convergecast. A node at distance d sends its subtree sum
+		// at round radius-d; it accumulates child contributions first.
+		acc := myVal
+		for r := 0; r < radius; r++ {
+			out := make(map[graph.NodeID]congest.Msg)
+			if dist > 0 && r == radius-dist {
+				out[parent] = congest.U64Msg(acc)
+			}
+			in := rt.Exchange(out)
+			for from, m := range in {
+				if from != parent || rt.ID() == root {
+					acc += congest.U64(m)
+				} else if from == parent {
+					// Late BFS ties can make two nodes claim each other;
+					// parent messages are ignored in convergecast.
+					_ = m
+				}
+			}
+		}
+		// Phase 3: downcast the total.
+		var total uint64
+		if rt.ID() == root {
+			total = acc
+		}
+		for r := 0; r < radius; r++ {
+			out := make(map[graph.NodeID]congest.Msg)
+			for _, v := range rt.Neighbors() {
+				out[v] = congest.U64Msg(total)
+			}
+			in := rt.Exchange(out)
+			if total == 0 {
+				if m, ok := in[parent]; ok {
+					total = congest.U64(m)
+				}
+			}
+		}
+		rt.SetOutput(total)
+	}
+}
+
+// TokenRing circulates a token around a cycle-structured neighbourhood: each
+// node forwards the received token XOR its ID to its successor (the
+// neighbour with the next-higher ID, wrapping). It is a deliberately
+// order-sensitive payload: one corrupted round changes every subsequent
+// value, making it a sharp correctness probe for the byzantine compilers.
+func TokenRing(rounds int) congest.Protocol {
+	return func(rt congest.Runtime) {
+		succ := successor(rt)
+		token := uint64(rt.ID()) + 1
+		var trace uint64
+		for r := 0; r < rounds; r++ {
+			out := map[graph.NodeID]congest.Msg{succ: congest.U64Msg(token)}
+			in := rt.Exchange(out)
+			for _, m := range in {
+				token = congest.U64(m) ^ (uint64(rt.ID()) + 1)
+			}
+			trace = trace*31 + token
+		}
+		rt.SetOutput(trace)
+	}
+}
+
+func successor(rt congest.Runtime) graph.NodeID {
+	nbs := rt.Neighbors()
+	// Smallest neighbour ID greater than mine, else the smallest overall.
+	best := graph.NodeID(-1)
+	for _, v := range nbs {
+		if v > rt.ID() && (best < 0 || v < best) {
+			best = v
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	min := nbs[0]
+	for _, v := range nbs {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,164 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+func mustRun(t *testing.T, g *graph.Graph, seed int64, inputs [][]byte, p congest.Protocol) *congest.Result {
+	t.Helper()
+	res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Inputs: inputs}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFloodMax(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(9), graph.Petersen(), graph.Grid(3, 4)} {
+		res := mustRun(t, g, 1, nil, FloodMax(g.Diameter()))
+		for i, o := range res.Outputs {
+			if o.(uint64) != uint64(g.N()-1) {
+				t.Fatalf("n=%d node %d got %v", g.N(), i, o)
+			}
+		}
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	g := graph.Grid(4, 4)
+	res := mustRun(t, g, 2, nil, Broadcast(0, 777, g.Diameter()))
+	for i, o := range res.Outputs {
+		if o.(uint64) != 777 {
+			t.Fatalf("node %d got %v, want 777", i, o)
+		}
+	}
+}
+
+func TestBroadcastInput(t *testing.T) {
+	g := graph.Cycle(7)
+	inputs := make([][]byte, 7)
+	inputs[3] = congest.U64Msg(4242)
+	res := mustRun(t, g, 3, inputs, BroadcastInput(3, g.Diameter()))
+	for i, o := range res.Outputs {
+		if o.(uint64) != 4242 {
+			t.Fatalf("node %d got %v, want 4242", i, o)
+		}
+	}
+}
+
+func TestBFSMatchesCentralized(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Petersen(), graph.Grid(3, 5), graph.Circulant(11, 2)} {
+		root := graph.NodeID(0)
+		res := mustRun(t, g, 4, nil, BFS(root, g.Eccentricity(root)))
+		wantDist, _ := g.BFS(root)
+		for i, o := range res.Outputs {
+			r := o.(BFSResult)
+			if r.Dist != wantDist[i] {
+				t.Fatalf("node %d dist = %d, want %d", i, r.Dist, wantDist[i])
+			}
+			if i != int(root) {
+				// Parent must be a neighbour one step closer.
+				if !g.HasEdge(graph.NodeID(i), r.Parent) {
+					t.Fatalf("node %d parent %d is not a neighbour", i, r.Parent)
+				}
+				if wantDist[r.Parent] != r.Dist-1 {
+					t.Fatalf("node %d parent %d at distance %d, want %d", i, r.Parent, wantDist[r.Parent], r.Dist-1)
+				}
+			}
+		}
+	}
+}
+
+func TestSumToRoot(t *testing.T) {
+	g := graph.Grid(3, 3)
+	inputs := make([][]byte, 9)
+	var want uint64
+	for i := range inputs {
+		v := uint64(i + 1)
+		want += v
+		inputs[i] = congest.U64Msg(v)
+	}
+	res := mustRun(t, g, 5, inputs, SumToRoot(0, g.Eccentricity(0)))
+	for i, o := range res.Outputs {
+		if o.(uint64) != want {
+			t.Fatalf("node %d total = %v, want %d", i, o, want)
+		}
+	}
+}
+
+func TestTokenRingDeterministic(t *testing.T) {
+	g := graph.Cycle(6)
+	r1 := mustRun(t, g, 6, nil, TokenRing(10))
+	r2 := mustRun(t, g, 99, nil, TokenRing(10))
+	for i := range r1.Outputs {
+		if r1.Outputs[i] != r2.Outputs[i] {
+			t.Fatal("token ring should be deterministic regardless of seed")
+		}
+	}
+}
+
+func TestMSTCliqueMatchesKruskal(t *testing.T) {
+	for _, n := range []int{4, 8, 13} {
+		g := graph.Clique(n)
+		inputs := CliqueWeights(n, 42)
+		res := mustRun(t, g, 7, inputs, MSTClique())
+		want := ReferenceMSTWeight(inputs)
+		for i, o := range res.Outputs {
+			if o.(uint64) != want {
+				t.Fatalf("n=%d node %d MST weight %v, want %d", n, i, o, want)
+			}
+		}
+	}
+}
+
+func TestMSTCliqueRoundCount(t *testing.T) {
+	n := 8
+	g := graph.Clique(n)
+	inputs := CliqueWeights(n, 1)
+	res := mustRun(t, g, 8, inputs, MSTClique())
+	if res.Stats.Rounds != MSTRounds(n) {
+		t.Fatalf("rounds = %d, want %d", res.Stats.Rounds, MSTRounds(n))
+	}
+}
+
+func TestCliqueWeightsSymmetricDistinct(t *testing.T) {
+	n := 10
+	inputs := CliqueWeights(n, 3)
+	seen := make(map[uint64]bool)
+	for u := 0; u < n; u++ {
+		wu := decodeWeights(inputs[u], n)
+		for v := 0; v < n; v++ {
+			wv := decodeWeights(inputs[v], n)
+			if wu[v] != wv[u] {
+				t.Fatalf("weight asymmetry at (%d,%d)", u, v)
+			}
+			if u < v {
+				if wu[v] == 0 {
+					t.Fatalf("zero weight at (%d,%d)", u, v)
+				}
+				if seen[wu[v]] {
+					t.Fatalf("duplicate weight at (%d,%d)", u, v)
+				}
+				seen[wu[v]] = true
+			}
+		}
+	}
+}
+
+func TestPayloadsUnderRandomSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		n := 6 + rng.Intn(6)
+		g := graph.Circulant(n, 2)
+		res := mustRun(t, g, rng.Int63(), nil, FloodMax(g.Diameter()))
+		for _, o := range res.Outputs {
+			if o.(uint64) != uint64(n-1) {
+				t.Fatalf("flood max failed on circulant n=%d", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package algorithms
+
+import (
+	"testing"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+func TestColorRingProper(t *testing.T) {
+	for _, n := range []int{4, 7, 12, 33} {
+		g := graph.Cycle(n)
+		res, err := congest.Run(congest.Config{Graph: g, Seed: 1}, ColorRing(ColorRingIterations(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyRingColoring(g, res.Outputs) {
+			colors := make([]int, n)
+			for i, o := range res.Outputs {
+				colors[i] = o.(ColorRingResult).Color
+			}
+			t.Fatalf("n=%d: improper colouring %v", n, colors)
+		}
+	}
+}
+
+func TestColorRingRoundCount(t *testing.T) {
+	n := 9
+	g := graph.Cycle(n)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 2}, ColorRing(ColorRingIterations(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != ColorRingRounds(n) {
+		t.Fatalf("rounds = %d, want %d", res.Stats.Rounds, ColorRingRounds(n))
+	}
+}
+
+func TestColeVishkinStepShrinks(t *testing.T) {
+	// After one step from 64-bit values, colours fit in 7 bits.
+	for _, pair := range [][2]uint64{{0xDEAD, 0xBEEF}, {1, 2}, {1 << 63, 1}} {
+		c := coleVishkinStep(pair[0], pair[1])
+		if c >= 128 {
+			t.Fatalf("step(%x,%x) = %d, not shrunk", pair[0], pair[1], c)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package ccpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/algorithms"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/cyclecover"
+	"mobilecongest/internal/graph"
+)
+
+func buildShared(t *testing.T, g *graph.Graph, k int) *Shared {
+	t.Helper()
+	c, err := cyclecover.Build(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyColoring(); err != nil {
+		t.Fatal(err)
+	}
+	return NewShared(c)
+}
+
+func TestCompileFaultFree(t *testing.T) {
+	g := graph.Circulant(10, 2)
+	sh := buildShared(t, g, 3)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 1, Shared: sh, MaxRounds: 1 << 22},
+		Compile(algorithms.FloodMax(g.Diameter()), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if o.(uint64) != uint64(g.N()-1) {
+			t.Fatalf("node %d output %v", i, o)
+		}
+	}
+	// Round envelope: r * NumColors * window.
+	if want := g.Diameter() * sh.RoundsPerSimRound(1); res.Stats.Rounds != want {
+		t.Fatalf("rounds = %d, want %d", res.Stats.Rounds, want)
+	}
+}
+
+func TestCompileUnderMobileByzantine(t *testing.T) {
+	g := graph.Circulant(10, 2)
+	sh := buildShared(t, g, 3)
+	for _, tc := range []struct {
+		name string
+		sel  adversary.Selector
+		cor  adversary.Corruption
+	}{
+		{"random-flip", adversary.SelectRandom, adversary.CorruptFlip},
+		{"busiest-randomize", adversary.SelectBusiest, adversary.CorruptRandomize},
+		{"rotating-drop", adversary.SelectRotating(), adversary.CorruptDrop},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			adv := adversary.NewMobileByzantine(g, 1, 5, tc.sel, tc.cor)
+			res, err := congest.Run(congest.Config{Graph: g, Seed: 2, Shared: sh, Adversary: adv, MaxRounds: 1 << 22},
+				Compile(algorithms.FloodMax(g.Diameter()), 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, o := range res.Outputs {
+				if o.(uint64) != uint64(g.N()-1) {
+					t.Fatalf("node %d output %v", i, o)
+				}
+			}
+		})
+	}
+}
+
+func TestCompileF2(t *testing.T) {
+	g := graph.Circulant(12, 3) // 6-edge-connected: k=5 paths
+	sh := buildShared(t, g, 5)
+	adv := adversary.NewMobileByzantine(g, 2, 7, adversary.SelectRandom, adversary.CorruptRandomize)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 3, Shared: sh, Adversary: adv, MaxRounds: 1 << 23},
+		Compile(algorithms.FloodMax(2), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if o.(uint64) != uint64(g.N()-1) {
+			t.Fatalf("node %d output %v", i, o)
+		}
+	}
+}
+
+func TestCompileRejectsOverBudget(t *testing.T) {
+	g := graph.Circulant(10, 2)
+	sh := buildShared(t, g, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("f beyond cover capacity accepted")
+		}
+	}()
+	Compile(algorithms.FloodMax(1), 5)(stub{sh: sh})
+}
+
+type stub struct{ sh *Shared }
+
+func (s stub) ID() graph.NodeID          { return 0 }
+func (s stub) N() int                    { return 10 }
+func (s stub) Neighbors() []graph.NodeID { return nil }
+func (s stub) Exchange(map[graph.NodeID]congest.Msg) map[graph.NodeID]congest.Msg {
+	panic("unreachable")
+}
+func (s stub) Round() int       { return 0 }
+func (s stub) Rand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+func (s stub) Input() []byte    { return nil }
+func (s stub) SetOutput(any)    {}
+func (s stub) Shared() any      { return s.sh }

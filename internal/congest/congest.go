@@ -1,0 +1,404 @@
+// Package congest implements the synchronous CONGEST simulator in the
+// adversarial communication model of the paper (Section 1.4). Each node runs
+// its protocol as straight-line Go code in its own goroutine and blocks in
+// Exchange, which acts as the end-of-round barrier; a coordinator gathers the
+// round's directed traffic, lets the adversary intercept it within an
+// engine-enforced edge budget, and releases the barrier.
+//
+// The model is KT1: every node knows n, its own ID, and the IDs of its
+// neighbours. Nodes hold private randomness the adversary cannot see.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mobilecongest/internal/graph"
+)
+
+// Msg is the payload crossing one directed edge in one round. The engine
+// records message sizes so experiments can normalize round counts to
+// B = O(log n)-bit units; it does not hard-cap sizes because the adversary
+// model corrupts whole edge-rounds regardless of size.
+type Msg []byte
+
+// Clone returns a copy of the message (nil stays nil).
+func (m Msg) Clone() Msg {
+	if m == nil {
+		return nil
+	}
+	c := make(Msg, len(m))
+	copy(c, m)
+	return c
+}
+
+// Traffic is the set of directed messages exchanged in a single round.
+type Traffic map[graph.DirEdge]Msg
+
+// Clone deep-copies a traffic map.
+func (t Traffic) Clone() Traffic {
+	c := make(Traffic, len(t))
+	for k, v := range t {
+		c[k] = v.Clone()
+	}
+	return c
+}
+
+// SortedEdges returns the directed edges of t in deterministic order, so
+// adversaries and tests can iterate reproducibly.
+func (t Traffic) SortedEdges() []graph.DirEdge {
+	edges := make([]graph.DirEdge, 0, len(t))
+	for e := range t {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+// Adversary intercepts each round's traffic. Implementations may observe
+// (eavesdroppers) or modify/inject (byzantine). The engine enforces the edge
+// budget declared through PerRoundBudget or TotalBudget.
+type Adversary interface {
+	// Intercept receives the round number and the round's traffic and
+	// returns the traffic to deliver. The input map must not be mutated;
+	// return a modified clone (or the same map if unchanged).
+	Intercept(round int, tr Traffic) Traffic
+}
+
+// PerRoundBudget is implemented by f-mobile (and f-static) adversaries: at
+// most f undirected edges may differ between intercepted and original
+// traffic in any round.
+type PerRoundBudget interface {
+	PerRoundEdges() int
+}
+
+// TotalBudget is implemented by round-error-rate adversaries (Section 4):
+// the total number of corrupted undirected edge-rounds across the whole run
+// is bounded.
+type TotalBudget interface {
+	TotalEdgeRounds() int
+}
+
+// Protocol is the per-node code. It runs in the node's goroutine and
+// communicates only through rt.Exchange.
+type Protocol func(rt Runtime)
+
+// Runtime is the interface protocol code programs against. Compilers wrap a
+// Runtime to interpose their simulation machinery between the payload
+// protocol and the physical network.
+type Runtime interface {
+	// ID returns this node's identifier.
+	ID() graph.NodeID
+	// N returns the number of nodes in the network.
+	N() int
+	// Neighbors returns this node's neighbour IDs in ascending order (KT1).
+	Neighbors() []graph.NodeID
+	// Exchange sends out[v] to each neighbour v (missing keys send nothing)
+	// and returns the messages received this round keyed by sender. It is
+	// the synchronous round barrier.
+	Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg
+	// Round returns the number of completed Exchange calls.
+	Round() int
+	// Rand returns this node's private randomness (hidden from the
+	// adversary).
+	Rand() *rand.Rand
+	// Input returns this node's protocol input (may be nil).
+	Input() []byte
+	// SetOutput records this node's protocol output.
+	SetOutput(v any)
+	// Shared returns the trusted preprocessing artifact distributed to all
+	// nodes before the run (tree packings, cycle covers); nil when the run
+	// has none. Protocols honouring pure KT1 must not use it.
+	Shared() any
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Graph is the communication topology.
+	Graph *graph.Graph
+	// Seed derives all node randomness; runs are deterministic given Seed.
+	Seed int64
+	// MaxRounds aborts the run when exceeded (0 means a generous default).
+	MaxRounds int
+	// Adversary intercepts traffic; nil means fault-free.
+	Adversary Adversary
+	// Inputs holds per-node protocol inputs (nil or length N).
+	Inputs [][]byte
+	// Shared is the trusted preprocessing artifact visible to all nodes.
+	Shared any
+}
+
+// Stats aggregates the run's communication measures.
+type Stats struct {
+	// Rounds is the number of executed rounds.
+	Rounds int
+	// Messages is the total number of directed messages delivered.
+	Messages int
+	// Bytes is the total payload volume.
+	Bytes int
+	// MaxMsgBytes is the largest single message.
+	MaxMsgBytes int
+	// MaxEdgeCongestion is the maximum number of rounds any undirected edge
+	// carried at least one message.
+	MaxEdgeCongestion int
+	// CorruptedEdgeRounds counts undirected edge-rounds the adversary
+	// touched.
+	CorruptedEdgeRounds int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Stats   Stats
+	Outputs []any
+}
+
+// ErrRoundLimit is returned when the protocol exceeds MaxRounds.
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// ErrBudgetExceeded is returned when the adversary touches more edges than
+// its declared budget permits.
+var ErrBudgetExceeded = errors.New("congest: adversary exceeded its edge budget")
+
+const defaultMaxRounds = 1 << 20
+
+// abortSignal unwinds node goroutines when the engine aborts a run.
+type abortSignal struct{}
+
+type nodeState struct {
+	id        graph.NodeID
+	neighbors []graph.NodeID
+	rng       *rand.Rand
+	input     []byte
+	output    any
+	round     int
+	n         int
+	shared    any
+
+	outCh  chan map[graph.NodeID]Msg
+	inCh   chan map[graph.NodeID]Msg
+	doneCh chan struct{}
+	abort  chan struct{}
+}
+
+var _ Runtime = (*nodeState)(nil)
+
+func (s *nodeState) ID() graph.NodeID          { return s.id }
+func (s *nodeState) N() int                    { return s.n }
+func (s *nodeState) Neighbors() []graph.NodeID { return s.neighbors }
+func (s *nodeState) Round() int                { return s.round }
+func (s *nodeState) Rand() *rand.Rand          { return s.rng }
+func (s *nodeState) Input() []byte             { return s.input }
+func (s *nodeState) SetOutput(v any)           { s.output = v }
+func (s *nodeState) Shared() any               { return s.shared }
+
+func (s *nodeState) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+	select {
+	case s.outCh <- out:
+	case <-s.abort:
+		panic(abortSignal{})
+	}
+	select {
+	case in := <-s.inCh:
+		s.round++
+		return in
+	case <-s.abort:
+		panic(abortSignal{})
+	}
+}
+
+// Run executes proto on every node of cfg.Graph and returns outputs and
+// communication statistics.
+func Run(cfg Config, proto Protocol) (*Result, error) {
+	g := cfg.Graph
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("congest: nil or empty graph")
+	}
+	if cfg.Inputs != nil && len(cfg.Inputs) != g.N() {
+		return nil, fmt.Errorf("congest: %d inputs for %d nodes", len(cfg.Inputs), g.N())
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+
+	seeder := rand.New(rand.NewSource(cfg.Seed))
+	abort := make(chan struct{})
+	nodes := make([]*nodeState, g.N())
+	for i := range nodes {
+		var input []byte
+		if cfg.Inputs != nil {
+			input = cfg.Inputs[i]
+		}
+		nodes[i] = &nodeState{
+			id:        graph.NodeID(i),
+			neighbors: g.Neighbors(graph.NodeID(i)),
+			rng:       rand.New(rand.NewSource(seeder.Int63())),
+			input:     input,
+			n:         g.N(),
+			shared:    cfg.Shared,
+			outCh:     make(chan map[graph.NodeID]Msg),
+			inCh:      make(chan map[graph.NodeID]Msg),
+			doneCh:    make(chan struct{}),
+			abort:     abort,
+		}
+	}
+	for _, s := range nodes {
+		go func(s *nodeState) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); !ok {
+						panic(r)
+					}
+				}
+				close(s.doneCh)
+			}()
+			proto(s)
+		}(s)
+	}
+
+	var stats Stats
+	edgeCong := make(map[graph.Edge]int)
+	active := make([]bool, g.N())
+	nActive := g.N()
+	for i := range active {
+		active[i] = true
+	}
+
+	abortAll := func() {
+		close(abort)
+		for _, s := range nodes {
+			<-s.doneCh
+		}
+	}
+
+	for nActive > 0 {
+		if stats.Rounds >= maxRounds {
+			abortAll()
+			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
+		}
+		// Collect the round's outboxes; a node either exchanges or
+		// terminates this round.
+		traffic := make(Traffic)
+		for i, s := range nodes {
+			if !active[i] {
+				continue
+			}
+			select {
+			case out := <-s.outCh:
+				for to, m := range out {
+					if m == nil {
+						continue
+					}
+					if !g.HasEdge(s.id, to) {
+						abortAll()
+						return nil, fmt.Errorf("congest: node %d sent to non-neighbor %d", s.id, to)
+					}
+					traffic[graph.DirEdge{From: s.id, To: to}] = m
+				}
+			case <-s.doneCh:
+				active[i] = false
+				nActive--
+			}
+		}
+		if nActive == 0 {
+			break
+		}
+
+		delivered := traffic
+		if cfg.Adversary != nil {
+			original := traffic.Clone()
+			delivered = cfg.Adversary.Intercept(stats.Rounds, traffic)
+			touched := touchedEdges(original, delivered)
+			stats.CorruptedEdgeRounds += len(touched)
+			if b, ok := cfg.Adversary.(PerRoundBudget); ok && len(touched) > b.PerRoundEdges() {
+				abortAll()
+				return nil, fmt.Errorf("%w: %d edges touched in round %d, budget %d",
+					ErrBudgetExceeded, len(touched), stats.Rounds, b.PerRoundEdges())
+			}
+			if b, ok := cfg.Adversary.(TotalBudget); ok && stats.CorruptedEdgeRounds > b.TotalEdgeRounds() {
+				abortAll()
+				return nil, fmt.Errorf("%w: %d total edge-rounds, budget %d",
+					ErrBudgetExceeded, stats.CorruptedEdgeRounds, b.TotalEdgeRounds())
+			}
+		}
+
+		// Deliver inboxes.
+		inboxes := make([]map[graph.NodeID]Msg, g.N())
+		for de, m := range delivered {
+			if !g.HasEdge(de.From, de.To) {
+				abortAll()
+				return nil, fmt.Errorf("congest: adversary injected on non-edge (%d,%d)", de.From, de.To)
+			}
+			stats.Messages++
+			stats.Bytes += len(m)
+			if len(m) > stats.MaxMsgBytes {
+				stats.MaxMsgBytes = len(m)
+			}
+			edgeCong[de.Undirected()]++
+			if inboxes[de.To] == nil {
+				inboxes[de.To] = make(map[graph.NodeID]Msg)
+			}
+			inboxes[de.To][de.From] = m
+		}
+		for i, s := range nodes {
+			if !active[i] {
+				continue
+			}
+			in := inboxes[i]
+			if in == nil {
+				in = map[graph.NodeID]Msg{}
+			}
+			s.inCh <- in
+		}
+		stats.Rounds++
+	}
+
+	for _, c := range edgeCong {
+		if c > stats.MaxEdgeCongestion {
+			stats.MaxEdgeCongestion = c
+		}
+	}
+	outputs := make([]any, g.N())
+	for i, s := range nodes {
+		outputs[i] = s.output
+	}
+	return &Result{Stats: stats, Outputs: outputs}, nil
+}
+
+// touchedEdges returns the undirected edges whose traffic differs between
+// the original and delivered maps (modified, dropped, or injected).
+func touchedEdges(original, delivered Traffic) map[graph.Edge]bool {
+	touched := make(map[graph.Edge]bool)
+	for de, m := range original {
+		d, ok := delivered[de]
+		if !ok || !msgEqual(m, d) {
+			touched[de.Undirected()] = true
+		}
+	}
+	for de, d := range delivered {
+		o, ok := original[de]
+		if !ok || !msgEqual(o, d) {
+			touched[de.Undirected()] = true
+		}
+	}
+	return touched
+}
+
+func msgEqual(a, b Msg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

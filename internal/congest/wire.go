@@ -1,0 +1,118 @@
+package congest
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"mobilecongest/internal/graph"
+)
+
+// Wire helpers: compact encodings for the word-sized values the compilers
+// exchange, plus the Runtime-wrapping shim compilers use to interpose their
+// machinery between a payload protocol and the physical network.
+
+// PutU64 appends a uint64 in big-endian order.
+func PutU64(dst []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return append(dst, buf[:]...)
+}
+
+// U64 reads a big-endian uint64 from the front of b; short buffers read as
+// zero-padded (corrupted messages must decode to *something*, never panic).
+func U64(b []byte) uint64 {
+	var buf [8]byte
+	copy(buf[:], b)
+	return binary.BigEndian.Uint64(buf[:])
+}
+
+// PutU32 appends a uint32 in big-endian order.
+func PutU32(dst []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return append(dst, buf[:]...)
+}
+
+// U32 reads a big-endian uint32, zero-padding short buffers.
+func U32(b []byte) uint32 {
+	var buf [4]byte
+	copy(buf[:], b)
+	return binary.BigEndian.Uint32(buf[:])
+}
+
+// U64Msg encodes a single word as a message.
+func U64Msg(v uint64) Msg { return PutU64(nil, v) }
+
+// Words64 splits a message into 8-byte words (zero-padding the tail).
+func Words64(m Msg) []uint64 {
+	nw := (len(m) + 7) / 8
+	out := make([]uint64, nw)
+	for i := 0; i < nw; i++ {
+		end := (i + 1) * 8
+		if end > len(m) {
+			end = len(m)
+		}
+		var buf [8]byte
+		copy(buf[:], m[i*8:end])
+		out[i] = binary.BigEndian.Uint64(buf[:])
+	}
+	return out
+}
+
+// WrappedRuntime lets a compiler present a virtual network to a payload
+// protocol: every Runtime method is forwarded to Base except Exchange, which
+// calls ExchangeFn. Compilers implement ExchangeFn as a multi-round
+// subprotocol over Base.
+type WrappedRuntime struct {
+	Base       Runtime
+	ExchangeFn func(out map[graph.NodeID]Msg) map[graph.NodeID]Msg
+	// ShadowShared, when non-nil, is what the wrapped protocol sees from
+	// Shared() — compilers use it to pass the payload's own preprocessing
+	// artifact through while keeping their own in the base runtime.
+	ShadowShared any
+	rounds       int
+}
+
+var _ Runtime = (*WrappedRuntime)(nil)
+
+// ID forwards to the base runtime.
+func (w *WrappedRuntime) ID() graph.NodeID { return w.Base.ID() }
+
+// N forwards to the base runtime.
+func (w *WrappedRuntime) N() int { return w.Base.N() }
+
+// Neighbors forwards to the base runtime.
+func (w *WrappedRuntime) Neighbors() []graph.NodeID { return w.Base.Neighbors() }
+
+// Rand forwards to the base runtime.
+func (w *WrappedRuntime) Rand() *rand.Rand { return w.Base.Rand() }
+
+// Input forwards to the base runtime.
+func (w *WrappedRuntime) Input() []byte { return w.Base.Input() }
+
+// SetOutput forwards to the base runtime.
+func (w *WrappedRuntime) SetOutput(v any) { w.Base.SetOutput(v) }
+
+// Shared returns ShadowShared when set, else forwards to the base runtime.
+func (w *WrappedRuntime) Shared() any {
+	if w.ShadowShared != nil {
+		return w.ShadowShared
+	}
+	return w.Base.Shared()
+}
+
+// Round returns the number of simulated (virtual) rounds completed.
+func (w *WrappedRuntime) Round() int { return w.rounds }
+
+// Exchange runs the compiler's simulation of one payload round.
+func (w *WrappedRuntime) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+	in := w.ExchangeFn(out)
+	w.rounds++
+	return in
+}
+
+// SilentRound performs an Exchange sending nothing — handy for protocols
+// that must stay in lock-step while idle.
+func SilentRound(rt Runtime) {
+	rt.Exchange(map[graph.NodeID]Msg{})
+}

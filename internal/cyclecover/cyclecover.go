@@ -1,0 +1,142 @@
+// Package cyclecover implements the fault-tolerant cycle covers of
+// Section 5 (Definition 8): for every graph edge (u,v), a collection of k
+// edge-disjoint u-v paths (the edge itself being one of them), together with
+// the good cycle colouring of Lemma 5.2 that partitions edges into classes
+// whose path collections are pairwise edge-disjoint.
+//
+// Construction is centralized (Theorem 1.4 permits a trusted preprocessing
+// phase): successive BFS augmentation on the unit-capacity residual graph
+// yields the k disjoint paths per edge; greedy colouring of the path-conflict
+// graph yields the schedule classes.
+package cyclecover
+
+import (
+	"fmt"
+
+	"mobilecongest/internal/graph"
+)
+
+// Cover is a k-FT (cong, dilation) cycle cover.
+type Cover struct {
+	// G is the underlying graph.
+	G *graph.Graph
+	// Paths[i] is the path collection of edge i (G.Edges()[i]); each path
+	// runs from the edge's U endpoint to its V endpoint.
+	Paths [][][]graph.NodeID
+	// Color[i] is the schedule class of edge i under a good cycle
+	// colouring.
+	Color []int
+	// NumColors is the number of classes.
+	NumColors int
+	// Dilation is the longest path length (edges).
+	Dilation int
+	// Cong is the largest number of paths any single edge appears on.
+	Cong int
+	// K is the number of paths per edge.
+	K int
+}
+
+// Build computes a k-FT cycle cover of g. It fails if some edge does not
+// admit k edge-disjoint paths (i.e., g is not k edge-connected).
+func Build(g *graph.Graph, k int) (*Cover, error) {
+	c := &Cover{G: g, K: k}
+	c.Paths = make([][][]graph.NodeID, g.M())
+	edgeLoad := make(map[graph.Edge]int)
+	for i, e := range g.Edges() {
+		// The edge itself is one path; the rest avoid it.
+		paths := [][]graph.NodeID{{e.U, e.V}}
+		rest := g.RemoveEdges([]graph.Edge{e}).EdgeDisjointPaths(e.U, e.V, k-1)
+		if len(rest) < k-1 {
+			return nil, fmt.Errorf("cyclecover: edge %v admits only %d+1 disjoint paths, want %d", e, len(rest), k)
+		}
+		paths = append(paths, rest...)
+		c.Paths[i] = paths
+		for _, p := range paths {
+			if len(p)-1 > c.Dilation {
+				c.Dilation = len(p) - 1
+			}
+			for j := 0; j+1 < len(p); j++ {
+				edgeLoad[graph.NewEdge(p[j], p[j+1])]++
+			}
+		}
+	}
+	for _, l := range edgeLoad {
+		if l > c.Cong {
+			c.Cong = l
+		}
+	}
+	c.colorize()
+	return c, nil
+}
+
+// colorize greedily colours the path-conflict graph (Lemma 5.2): two edges
+// conflict when their path collections share a graph edge.
+func (c *Cover) colorize() {
+	m := c.G.M()
+	// usedBy[edge] = list of cover-edges whose paths use it.
+	usedBy := make(map[graph.Edge][]int)
+	for i, paths := range c.Paths {
+		seen := make(map[graph.Edge]bool)
+		for _, p := range paths {
+			for j := 0; j+1 < len(p); j++ {
+				e := graph.NewEdge(p[j], p[j+1])
+				if !seen[e] {
+					usedBy[e] = append(usedBy[e], i)
+					seen[e] = true
+				}
+			}
+		}
+	}
+	adj := make([]map[int]bool, m)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for _, group := range usedBy {
+		for a := 0; a < len(group); a++ {
+			for b := a + 1; b < len(group); b++ {
+				adj[group[a]][group[b]] = true
+				adj[group[b]][group[a]] = true
+			}
+		}
+	}
+	c.Color = make([]int, m)
+	for i := range c.Color {
+		c.Color[i] = -1
+	}
+	for i := 0; i < m; i++ {
+		used := make(map[int]bool)
+		for nb := range adj[i] {
+			if c.Color[nb] >= 0 {
+				used[c.Color[nb]] = true
+			}
+		}
+		col := 0
+		for used[col] {
+			col++
+		}
+		c.Color[i] = col
+		if col+1 > c.NumColors {
+			c.NumColors = col + 1
+		}
+	}
+}
+
+// VerifyColoring checks the Lemma 5.2 property: same-coloured edges have
+// edge-disjoint path collections.
+func (c *Cover) VerifyColoring() error {
+	owner := make(map[[2]int]int) // (color, edge-as-index) -> cover edge
+	for i, paths := range c.Paths {
+		col := c.Color[i]
+		for _, p := range paths {
+			for j := 0; j+1 < len(p); j++ {
+				e := c.G.EdgeIndex(p[j], p[j+1])
+				key := [2]int{col, e}
+				if prev, clash := owner[key]; clash && prev != i {
+					return fmt.Errorf("cyclecover: colour %d shared by edges %d and %d on edge %d", col, prev, i, e)
+				}
+				owner[key] = i
+			}
+		}
+	}
+	return nil
+}

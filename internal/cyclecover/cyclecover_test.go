@@ -1,0 +1,84 @@
+package cyclecover
+
+import (
+	"testing"
+
+	"mobilecongest/internal/graph"
+)
+
+func TestBuildCirculant(t *testing.T) {
+	g := graph.Circulant(10, 2) // 4-edge-connected
+	c, err := Build(g, 3)       // k = 2f+1 for f=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 3 {
+		t.Fatalf("K = %d", c.K)
+	}
+	for i, paths := range c.Paths {
+		e := g.Edges()[i]
+		if len(paths) != 3 {
+			t.Fatalf("edge %v has %d paths", e, len(paths))
+		}
+		used := make(map[graph.Edge]bool)
+		for _, p := range paths {
+			if p[0] != e.U || p[len(p)-1] != e.V {
+				t.Fatalf("edge %v path endpoints wrong: %v", e, p)
+			}
+			for j := 0; j+1 < len(p); j++ {
+				if !g.HasEdge(p[j], p[j+1]) {
+					t.Fatalf("path uses non-edge (%d,%d)", p[j], p[j+1])
+				}
+				pe := graph.NewEdge(p[j], p[j+1])
+				if used[pe] {
+					t.Fatalf("edge %v paths overlap on %v", e, pe)
+				}
+				used[pe] = true
+			}
+		}
+	}
+	if c.Dilation < 2 {
+		t.Fatalf("dilation = %d, expected >= 2", c.Dilation)
+	}
+	if err := c.VerifyColoring(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors < 1 {
+		t.Fatal("no colours assigned")
+	}
+}
+
+func TestBuildInsufficientConnectivity(t *testing.T) {
+	g := graph.Cycle(8) // 2-edge-connected
+	if _, err := Build(g, 3); err == nil {
+		t.Fatal("k=3 cover built on a cycle")
+	}
+}
+
+func TestBuildCliqueSmallDilation(t *testing.T) {
+	g := graph.Clique(6)
+	c, err := Build(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a clique: the edge itself plus 2-hop detours: dilation 2.
+	if c.Dilation != 2 {
+		t.Fatalf("dilation = %d, want 2", c.Dilation)
+	}
+	if err := c.VerifyColoring(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoringBound(t *testing.T) {
+	// Lemma 5.2: colours <= f*dilation*cong + 1 with k = 2f+1 -> use k.
+	g := graph.Circulant(12, 2)
+	c, err := Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := c.K*c.Dilation*c.Cong + 1
+	if c.NumColors > bound {
+		t.Fatalf("colours %d exceed Lemma 5.2 bound %d", c.NumColors, bound)
+	}
+}

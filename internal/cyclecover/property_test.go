@@ -1,0 +1,77 @@
+package cyclecover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobilecongest/internal/graph"
+)
+
+// TestCoverInvariantsQuick: on random circulants, covers satisfy
+// Definition 8 — k edge-disjoint u-v paths per edge including the edge
+// itself — and the colouring is always good.
+func TestCoverInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(6)
+		c := 2
+		if n <= 2*c {
+			return true
+		}
+		g := graph.Circulant(n, c)
+		k := 3 // 2f+1 for f=1; connectivity 4 suffices
+		cover, err := Build(g, k)
+		if err != nil {
+			return false
+		}
+		for i, e := range g.Edges() {
+			paths := cover.Paths[i]
+			if len(paths) != k {
+				return false
+			}
+			hasDirect := false
+			used := make(map[graph.Edge]bool)
+			for _, p := range paths {
+				if p[0] != e.U || p[len(p)-1] != e.V {
+					return false
+				}
+				if len(p) == 2 {
+					hasDirect = true
+				}
+				for j := 0; j+1 < len(p); j++ {
+					pe := graph.NewEdge(p[j], p[j+1])
+					if used[pe] || !g.HasEdge(p[j], p[j+1]) {
+						return false
+					}
+					used[pe] = true
+				}
+			}
+			if !hasDirect {
+				return false
+			}
+		}
+		return cover.VerifyColoring() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDilationCongBounds: measured dilation and cong never exceed the
+// structural worst cases on small cliques.
+func TestDilationCongBounds(t *testing.T) {
+	for _, n := range []int{5, 6, 8} {
+		g := graph.Clique(n)
+		cover, err := Build(g, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cover.Dilation > 3 {
+			t.Fatalf("clique(%d) dilation %d, expected <= 3", n, cover.Dilation)
+		}
+		if cover.Cong > 2*(n-1) {
+			t.Fatalf("clique(%d) cong %d too high", n, cover.Cong)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package extract implements the bit-extraction problem of Chor et al.
+// (Theorem 2.1 of the paper): (t,k)-resilient functions built from
+// Vandermonde matrices over GF(2^16). Given n = r+t random field elements
+// exchanged across an edge, of which an adversary has observed at most t, the
+// extractor produces r output keys that remain uniform and independent in the
+// adversary's view. This is the engine behind the static-to-mobile security
+// compiler (Theorem 1.2) and the key-pool phases of Appendix A.
+package extract
+
+import (
+	"fmt"
+
+	"mobilecongest/internal/gf"
+)
+
+// Extractor derives m hidden keys from n partially-observed random values,
+// where resilience holds as long as the adversary observed at most n-m of
+// them.
+type Extractor struct {
+	f *gf.Field
+	m *gf.Matrix // n x m Vandermonde
+}
+
+// New constructs an extractor mapping n input elements to m output keys,
+// resilient against t = n-m observed inputs (Theorem 2.1: B_k(n,t) = n-t).
+func New(f *gf.Field, n, m int) (*Extractor, error) {
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("extract: need 1 <= m <= n, got m=%d n=%d", m, n)
+	}
+	if n >= f.Order()-1 {
+		return nil, fmt.Errorf("extract: n=%d too large for field order %d", n, f.Order())
+	}
+	return &Extractor{f: f, m: gf.Vandermonde(f, n, m)}, nil
+}
+
+// N returns the number of input elements.
+func (e *Extractor) N() int { return e.m.Rows() }
+
+// M returns the number of output keys.
+func (e *Extractor) M() int { return e.m.Cols() }
+
+// Resilience returns t = n-m, the number of inputs the adversary may know
+// without learning anything about the outputs.
+func (e *Extractor) Resilience() int { return e.N() - e.M() }
+
+// Extract computes the m keys y_j = sum_i M[i][j] * x_i. If at most
+// Resilience() of the x_i are known to the adversary and the rest are
+// uniform, the outputs are i.i.d. uniform in the adversary's view.
+func (e *Extractor) Extract(x []gf.Elem) ([]gf.Elem, error) {
+	if len(x) != e.N() {
+		return nil, fmt.Errorf("extract: input length %d, want %d", len(x), e.N())
+	}
+	return e.m.TransposeMulVec(x), nil
+}
+
+// VerifyResilience checks algebraically that for the given set of observed
+// input indices (|observed| <= t), the map from the unobserved inputs to the
+// outputs is surjective — the linear-algebra condition equivalent to the
+// outputs being uniform conditioned on the observed inputs. The experiment
+// harness uses this as the "perfect security" certificate (experiment T2).
+func (e *Extractor) VerifyResilience(observed []int) (bool, error) {
+	if len(observed) > e.Resilience() {
+		return false, fmt.Errorf("extract: %d observed indices exceeds resilience %d", len(observed), e.Resilience())
+	}
+	isObs := make(map[int]bool, len(observed))
+	for _, i := range observed {
+		if i < 0 || i >= e.N() {
+			return false, fmt.Errorf("extract: observed index %d out of range", i)
+		}
+		isObs[i] = true
+	}
+	// Build the submatrix of M restricted to unobserved rows; outputs are
+	// uniform iff this (n-|observed|) x m matrix has rank m.
+	free := e.N() - len(isObs)
+	sub := gf.NewMatrix(e.f, free, e.M())
+	r := 0
+	for i := 0; i < e.N(); i++ {
+		if isObs[i] {
+			continue
+		}
+		for j := 0; j < e.M(); j++ {
+			sub.Set(r, j, e.m.At(i, j))
+		}
+		r++
+	}
+	return sub.Rank() == e.M(), nil
+}
+
+// KeySchedule is the per-edge key material computed in the first phase of
+// the static-to-mobile compiler: r keys per direction.
+type KeySchedule struct {
+	// Fwd[i] encrypts the round-i message from the lower-ID endpoint to the
+	// higher-ID endpoint; Bwd[i] the reverse direction.
+	Fwd []gf.Elem
+	Bwd []gf.Elem
+}
+
+// DeriveKeys runs the extractor on the two directed streams of exchanged
+// random values (fwd[j] sent low->high in key round j, bwd[j] the reverse)
+// and returns r keys per direction.
+func (e *Extractor) DeriveKeys(fwd, bwd []gf.Elem) (*KeySchedule, error) {
+	kf, err := e.Extract(fwd)
+	if err != nil {
+		return nil, err
+	}
+	kb, err := e.Extract(bwd)
+	if err != nil {
+		return nil, err
+	}
+	return &KeySchedule{Fwd: kf, Bwd: kb}, nil
+}

@@ -1,0 +1,166 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobilecongest/internal/gf"
+)
+
+var testField = gf.NewField16()
+
+func TestResilienceRankAllSubsets(t *testing.T) {
+	// Small enough to enumerate: n=6, m=3, t=3. Every observed set of size
+	// <= 3 must leave the outputs uniform.
+	ex, err := New(testField, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx [6]int
+	for i := range idx {
+		idx[i] = i
+	}
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			for c := b + 1; c < 6; c++ {
+				ok, err := ex.VerifyResilience([]int{a, b, c})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("resilience fails for observed set {%d,%d,%d}", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestResilienceRandomSubsets(t *testing.T) {
+	ex, err := New(testField, 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		tObs := rng.Intn(ex.Resilience() + 1)
+		obs := rng.Perm(40)[:tObs]
+		ok, err := ex.VerifyResilience(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("resilience fails for random observed set %v", obs)
+		}
+	}
+}
+
+func TestResilienceBudgetEnforced(t *testing.T) {
+	ex, _ := New(testField, 10, 4)
+	if _, err := ex.VerifyResilience([]int{0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Fatal("over-budget observed set accepted")
+	}
+	if _, err := ex.VerifyResilience([]int{99}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+// TestOutputUniformityEmpirical fixes an observed set and checks the output
+// distribution is uniform over random free inputs: every output bucket
+// should be hit roughly equally.
+func TestOutputUniformityEmpirical(t *testing.T) {
+	ex, _ := New(testField, 8, 2)
+	rng := rand.New(rand.NewSource(17))
+	observedIdx := []int{1, 5, 6} // fixed, known-to-adversary positions
+	obsVals := []gf.Elem{111, 222, 333}
+	const trials = 20000
+	const buckets = 8
+	counts := make([]int, buckets)
+	for trial := 0; trial < trials; trial++ {
+		x := make([]gf.Elem, 8)
+		for i := range x {
+			x[i] = gf.Elem(rng.Intn(gf.Order16))
+		}
+		for i, oi := range observedIdx {
+			x[oi] = obsVals[i]
+		}
+		y, err := ex.Extract(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[int(y[0])*buckets/gf.Order16]++
+	}
+	want := float64(trials) / buckets
+	for i, c := range counts {
+		if float64(c) < want*0.9 || float64(c) > want*1.1 {
+			t.Errorf("output bucket %d count %d far from uniform %f", i, c, want)
+		}
+	}
+}
+
+func TestExtractLinear(t *testing.T) {
+	ex, _ := New(testField, 12, 5)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]gf.Elem, 12)
+		y := make([]gf.Elem, 12)
+		for i := range x {
+			x[i] = gf.Elem(rng.Intn(gf.Order16))
+			y[i] = gf.Elem(rng.Intn(gf.Order16))
+		}
+		xy := make([]gf.Elem, 12)
+		for i := range xy {
+			xy[i] = x[i] ^ y[i]
+		}
+		ex1, _ := ex.Extract(x)
+		ex2, _ := ex.Extract(y)
+		ex3, _ := ex.Extract(xy)
+		for i := range ex3 {
+			if ex3[i] != ex1[i]^ex2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveKeys(t *testing.T) {
+	ex, _ := New(testField, 10, 4)
+	rng := rand.New(rand.NewSource(23))
+	fwd := make([]gf.Elem, 10)
+	bwd := make([]gf.Elem, 10)
+	for i := range fwd {
+		fwd[i] = gf.Elem(rng.Intn(gf.Order16))
+		bwd[i] = gf.Elem(rng.Intn(gf.Order16))
+	}
+	ks, err := ex.DeriveKeys(fwd, bwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks.Fwd) != 4 || len(ks.Bwd) != 4 {
+		t.Fatalf("key schedule lengths %d/%d, want 4/4", len(ks.Fwd), len(ks.Bwd))
+	}
+	// Both endpoints computing from the same exchanged values get identical
+	// schedules — determinism check.
+	ks2, _ := ex.DeriveKeys(fwd, bwd)
+	for i := range ks.Fwd {
+		if ks.Fwd[i] != ks2.Fwd[i] || ks.Bwd[i] != ks2.Bwd[i] {
+			t.Fatal("key derivation is not deterministic")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testField, 4, 5); err == nil {
+		t.Fatal("m > n accepted")
+	}
+	if _, err := New(testField, 4, 0); err == nil {
+		t.Fatal("m = 0 accepted")
+	}
+	if _, err := New(testField, gf.Order16, 4); err == nil {
+		t.Fatal("n >= order accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package graph
+
+import "math"
+
+// EdgeConnectivity returns the exact edge connectivity lambda(G) by Menger's
+// theorem: the minimum over v != 0 of the max-flow between node 0 and v with
+// unit edge capacities. Cost O(n * m * lambda); intended for the moderate
+// sizes the simulator handles.
+func (g *Graph) EdgeConnectivity() int {
+	if g.n <= 1 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	best := math.MaxInt
+	for v := 1; v < g.n; v++ {
+		f := g.maxFlowUnit(0, NodeID(v), best)
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// maxFlowUnit computes max-flow from s to t with unit capacities on each
+// undirected edge (capacity 1 in each direction, standard for edge-disjoint
+// paths), stopping early once the flow reaches cap.
+func (g *Graph) maxFlowUnit(s, t NodeID, cap int) int {
+	// residual[u][v] tracked via map keyed by directed edge.
+	res := make(map[DirEdge]int, 2*len(g.edges))
+	for _, e := range g.edges {
+		res[DirEdge{From: e.U, To: e.V}] = 1
+		res[DirEdge{From: e.V, To: e.U}] = 1
+	}
+	flow := 0
+	for flow < cap {
+		// BFS for an augmenting path.
+		parent := make([]NodeID, g.n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []NodeID{s}
+		found := false
+		for len(queue) > 0 && !found {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if parent[v] < 0 && res[DirEdge{From: u, To: v}] > 0 {
+					parent[v] = u
+					if v == t {
+						found = true
+						break
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		for v := t; v != s; v = parent[v] {
+			u := parent[v]
+			res[DirEdge{From: u, To: v}]--
+			res[DirEdge{From: v, To: u}]++
+		}
+		flow++
+	}
+	return flow
+}
+
+// EdgeDisjointPaths returns up to k edge-disjoint s-t paths (each a node
+// sequence from s to t), found by successive BFS augmentation on the unit-
+// capacity residual graph. Shorter paths are preferred because augmentation
+// is breadth-first. Used by the FT cycle-cover construction (Section 5).
+func (g *Graph) EdgeDisjointPaths(s, t NodeID, k int) [][]NodeID {
+	res := make(map[DirEdge]int, 2*len(g.edges))
+	for _, e := range g.edges {
+		res[DirEdge{From: e.U, To: e.V}] = 1
+		res[DirEdge{From: e.V, To: e.U}] = 1
+	}
+	for i := 0; i < k; i++ {
+		parent := make([]NodeID, g.n)
+		for j := range parent {
+			parent[j] = -1
+		}
+		parent[s] = s
+		queue := []NodeID{s}
+		found := false
+		for len(queue) > 0 && !found {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if parent[v] < 0 && res[DirEdge{From: u, To: v}] > 0 {
+					parent[v] = u
+					if v == t {
+						found = true
+						break
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		for v := t; v != s; v = parent[v] {
+			u := parent[v]
+			res[DirEdge{From: u, To: v}]--
+			res[DirEdge{From: v, To: u}]++
+		}
+	}
+	// Decompose the flow into paths: follow outgoing saturated edges from s.
+	used := make(map[DirEdge]bool)
+	for _, e := range g.edges {
+		if res[DirEdge{From: e.U, To: e.V}] == 0 && res[DirEdge{From: e.V, To: e.U}] == 2 {
+			used[DirEdge{From: e.U, To: e.V}] = true
+		}
+		if res[DirEdge{From: e.V, To: e.U}] == 0 && res[DirEdge{From: e.U, To: e.V}] == 2 {
+			used[DirEdge{From: e.V, To: e.U}] = true
+		}
+	}
+	var paths [][]NodeID
+	for {
+		path := []NodeID{s}
+		cur := s
+		ok := false
+		for steps := 0; steps <= len(g.edges); steps++ {
+			var next NodeID = -1
+			for _, v := range g.adj[cur] {
+				de := DirEdge{From: cur, To: v}
+				if used[de] {
+					next = v
+					delete(used, de)
+					break
+				}
+			}
+			if next < 0 {
+				break
+			}
+			path = append(path, next)
+			cur = next
+			if cur == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// Conductance returns the exact conductance (the phi of Section 1.3) for
+// graphs with n <= 24 by enumerating all cuts; for larger graphs it returns
+// a sampled lower-confidence estimate using sweep cuts over randomized BFS
+// orders, which upper-bounds phi. The compilers only need a usable phi
+// estimate to parameterize the expander packing.
+func (g *Graph) Conductance() float64 {
+	if g.n <= 1 || len(g.edges) == 0 {
+		return 0
+	}
+	if g.n <= 24 {
+		return g.exactConductance()
+	}
+	return g.sweepConductance()
+}
+
+func (g *Graph) exactConductance() float64 {
+	best := math.Inf(1)
+	for mask := 1; mask < (1<<g.n)-1; mask++ {
+		phi := g.cutConductance(func(u NodeID) bool { return mask&(1<<u) != 0 })
+		if phi < best {
+			best = phi
+		}
+	}
+	return best
+}
+
+func (g *Graph) cutConductance(inS func(NodeID) bool) float64 {
+	cut, volS, volT := 0, 0, 0
+	for _, e := range g.edges {
+		su, sv := inS(e.U), inS(e.V)
+		if su != sv {
+			cut++
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		if inS(NodeID(u)) {
+			volS += len(g.adj[u])
+		} else {
+			volT += len(g.adj[u])
+		}
+	}
+	den := volS
+	if volT < volS {
+		den = volT
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return float64(cut) / float64(den)
+}
+
+func (g *Graph) sweepConductance() float64 {
+	best := math.Inf(1)
+	// Sweep cuts along BFS orders from several sources.
+	sources := []NodeID{0, NodeID(g.n / 2), NodeID(g.n - 1)}
+	for _, s := range sources {
+		dist, _ := g.BFS(s)
+		order := make([]NodeID, g.n)
+		for i := range order {
+			order[i] = NodeID(i)
+		}
+		// Sort by BFS distance (stable enough for a sweep).
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && dist[order[j]] < dist[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		inS := make([]bool, g.n)
+		for i := 0; i+1 < len(order); i++ {
+			inS[order[i]] = true
+			phi := g.cutConductance(func(u NodeID) bool { return inS[u] })
+			if phi < best {
+				best = phi
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Clique returns the complete graph K_n — the CONGESTED CLIQUE topology
+// (Theorem 1.6).
+func Clique(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.mustAddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle (n >= 3), the minimal 2-edge-connected graph.
+func Cycle(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		g.mustAddEdge(NodeID(u), NodeID((u+1)%n))
+	}
+	return g
+}
+
+// Path returns the n-path, a tree with diameter n-1.
+func Path(n int) *Graph {
+	g := New(n)
+	for u := 0; u+1 < n; u++ {
+		g.mustAddEdge(NodeID(u), NodeID(u+1))
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(1..k): node u adjacent to
+// u±1, ..., u±k (mod n). It is 2k-edge-connected with diameter ~n/(2k) —
+// the canonical (2f+1)-connected family for the byzantine compilers. It
+// requires n > 2k.
+func Circulant(n, k int) *Graph {
+	if n <= 2*k {
+		panic(fmt.Sprintf("graph: circulant needs n > 2k, got n=%d k=%d", n, k))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k; d++ {
+			v := (u + d) % n
+			if !g.HasEdge(NodeID(u), NodeID(v)) {
+				g.mustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.mustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.mustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols torus (wrap-around grid), 4-edge-connected.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: torus needs rows, cols >= 3")
+	}
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.mustAddEdge(id(r, c), id(r, (c+1)%cols))
+			g.mustAddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes,
+// d-edge-connected with diameter d.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.mustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular graph on n nodes via the pairing
+// model followed by double-edge-swap repair of self-loops and multi-edges;
+// these graphs are expanders w.h.p. (the Theorem 1.7 family). It requires
+// n*d even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 || d >= n {
+		panic(fmt.Sprintf("graph: invalid regular params n=%d d=%d", n, d))
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		g, ok := tryPairingWithRepair(n, d, rng)
+		if ok && g.IsConnected() {
+			return g
+		}
+	}
+	panic("graph: random regular generation failed after 200 attempts")
+}
+
+func tryPairingWithRepair(n, d int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]NodeID, 0, n*d)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, NodeID(u))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	// Pair stubs into an edge multiset, then swap away loops/duplicates:
+	// a double edge swap (u,v),(x,y) -> (u,x),(v,y) preserves all degrees.
+	type pair struct{ a, b NodeID }
+	pairs := make([]pair, 0, len(stubs)/2)
+	for i := 0; i < len(stubs); i += 2 {
+		pairs = append(pairs, pair{a: stubs[i], b: stubs[i+1]})
+	}
+	count := make(map[Edge]int)
+	bad := func(p pair) bool {
+		return p.a == p.b || count[NewEdge(p.a, p.b)] > 1
+	}
+	for _, p := range pairs {
+		if p.a != p.b {
+			count[NewEdge(p.a, p.b)]++
+		}
+	}
+	for iter := 0; iter < 100*len(pairs); iter++ {
+		bi := -1
+		for i, p := range pairs {
+			if bad(p) {
+				bi = i
+				break
+			}
+		}
+		if bi < 0 {
+			g := New(n)
+			for _, p := range pairs {
+				if g.HasEdge(p.a, p.b) {
+					return nil, false // should not happen after repair
+				}
+				g.mustAddEdge(p.a, p.b)
+			}
+			return g, true
+		}
+		oi := rng.Intn(len(pairs))
+		if oi == bi {
+			continue
+		}
+		p, q := pairs[bi], pairs[oi]
+		// Remove old multiplicities.
+		if p.a != p.b {
+			count[NewEdge(p.a, p.b)]--
+		}
+		if q.a != q.b {
+			count[NewEdge(q.a, q.b)]--
+		}
+		np, nq := pair{a: p.a, b: q.a}, pair{a: p.b, b: q.b}
+		if rng.Intn(2) == 0 {
+			np, nq = pair{a: p.a, b: q.b}, pair{a: p.b, b: q.a}
+		}
+		if np.a != np.b {
+			count[NewEdge(np.a, np.b)]++
+		}
+		if nq.a != nq.b {
+			count[NewEdge(nq.a, nq.b)]++
+		}
+		pairs[bi], pairs[oi] = np, nq
+	}
+	return nil, false
+}
+
+// GNP returns an Erdos-Renyi G(n,p) graph, retrying until connected (p must
+// be comfortably above the connectivity threshold).
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	for attempt := 0; attempt < 200; attempt++ {
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					g.mustAddEdge(NodeID(u), NodeID(v))
+				}
+			}
+		}
+		if g.IsConnected() {
+			return g
+		}
+	}
+	panic("graph: G(n,p) stayed disconnected after 200 attempts; p too small")
+}
+
+// CompleteBipartite returns K_{a,b}: a-edge-connected (for a<=b) with
+// diameter 2.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			g.mustAddEdge(NodeID(u), NodeID(a+v))
+		}
+	}
+	return g
+}
+
+// Barbell returns two K_m cliques joined by a single bridge edge — the
+// canonical low-conductance graph (phi ~ 1/m^2), used as a negative control
+// for the expander-only results.
+func Barbell(m int) *Graph {
+	g := New(2 * m)
+	for u := 0; u < m; u++ {
+		for v := u + 1; v < m; v++ {
+			g.mustAddEdge(NodeID(u), NodeID(v))
+			g.mustAddEdge(NodeID(m+u), NodeID(m+v))
+		}
+	}
+	g.mustAddEdge(NodeID(m-1), NodeID(m))
+	return g
+}
+
+// Petersen returns the Petersen graph (3-regular, 3-edge-connected,
+// diameter 2) — a handy fixed test topology.
+func Petersen() *Graph {
+	g := New(10)
+	for u := 0; u < 5; u++ {
+		g.mustAddEdge(NodeID(u), NodeID((u+1)%5))     // outer cycle
+		g.mustAddEdge(NodeID(5+u), NodeID(5+(u+2)%5)) // inner pentagram
+		g.mustAddEdge(NodeID(u), NodeID(5+u))         // spokes
+	}
+	return g
+}

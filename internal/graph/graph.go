@@ -1,0 +1,236 @@
+// Package graph provides the undirected multigraph-free graph type used by
+// the CONGEST simulator, together with generators for the graph families the
+// paper's compilers target (cliques, circulants, expanders, grids,
+// hypercubes) and the structural analyses the theorems are parameterized by
+// (diameter, edge connectivity, conductance).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; IDs are 0..N-1 and double as the KT1 identifiers
+// (so the "largest ID" root of Lemma 3.14 is node N-1).
+type NodeID int32
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge normalizes the endpoint order.
+func NewEdge(a, b NodeID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Other returns the endpoint of e that is not x.
+func (e Edge) Other(x NodeID) NodeID {
+	if e.U == x {
+		return e.V
+	}
+	return e.U
+}
+
+// DirEdge is a directed edge (an ordered pair of adjacent nodes).
+type DirEdge struct {
+	From, To NodeID
+}
+
+// Undirected returns the underlying undirected edge.
+func (d DirEdge) Undirected() Edge { return NewEdge(d.From, d.To) }
+
+// Reverse returns the opposite direction.
+func (d DirEdge) Reverse() DirEdge { return DirEdge{From: d.To, To: d.From} }
+
+// Graph is a simple undirected graph on nodes 0..N-1.
+type Graph struct {
+	n       int
+	adj     [][]NodeID
+	edges   []Edge
+	edgeIdx map[Edge]int
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		n:       n,
+		adj:     make([][]NodeID, n),
+		edgeIdx: make(map[Edge]int),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list (do not mutate).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Neighbors returns the adjacency list of u (do not mutate). The list is
+// sorted by ID.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.edgeIdx[NewEdge(u, v)]
+	return ok
+}
+
+// EdgeIndex returns the index of {u,v} in Edges(), or -1.
+func (g *Graph) EdgeIndex(u, v NodeID) int {
+	if i, ok := g.edgeIdx[NewEdge(u, v)]; ok {
+		return i
+	}
+	return -1
+}
+
+// AddEdge inserts the undirected edge {u,v}; duplicate and self-loop
+// insertions are rejected.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop at %d", u)
+	}
+	if int(u) < 0 || int(u) >= g.n || int(v) < 0 || int(v) >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range n=%d", u, v, g.n)
+	}
+	e := NewEdge(u, v)
+	if _, dup := g.edgeIdx[e]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.edgeIdx[e] = len(g.edges)
+	g.edges = append(g.edges, e)
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	return nil
+}
+
+// mustAddEdge is used by generators whose construction cannot produce
+// duplicates.
+func (g *Graph) mustAddEdge(u, v NodeID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func insertSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// BFS returns distances from src (-1 for unreachable) and a parent array
+// (parent[src] = src; parent[v] = -1 for unreachable v).
+func (g *Graph) BFS(src NodeID) (dist []int, parent []NodeID) {
+	dist = make([]int, g.n)
+	parent = make([]NodeID, g.n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// IsConnected reports whether the graph is connected (true for n<=1).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist, _ := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the exact diameter via all-pairs BFS, or -1 if
+// disconnected.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		dist, _ := g.BFS(NodeID(u))
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Eccentricity returns max distance from u, or -1 if some node is
+// unreachable.
+func (g *Graph) Eccentricity(u NodeID) int {
+	dist, _ := g.BFS(u)
+	ecc := 0
+	for _, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, e := range g.edges {
+		c.mustAddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// RemoveEdges returns a copy of g with the given edges deleted.
+func (g *Graph) RemoveEdges(remove []Edge) *Graph {
+	drop := make(map[Edge]bool, len(remove))
+	for _, e := range remove {
+		drop[NewEdge(e.U, e.V)] = true
+	}
+	c := New(g.n)
+	for _, e := range g.edges {
+		if !drop[e] {
+			c.mustAddEdge(e.U, e.V)
+		}
+	}
+	return c
+}
+
+// ConnectedAvoiding reports whether s and t remain connected after deleting
+// the given edge set — the condition of Jain's secure unicast (Lemma A.3).
+func (g *Graph) ConnectedAvoiding(s, t NodeID, avoid []Edge) bool {
+	h := g.RemoveEdges(avoid)
+	dist, _ := h.BFS(s)
+	return dist[t] >= 0
+}

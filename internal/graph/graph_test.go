@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(2, 2); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := g.AddEdge(0, 9); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge symmetric lookup failed")
+	}
+	if g.EdgeIndex(0, 1) != 0 || g.EdgeIndex(2, 3) != -1 {
+		t.Fatal("EdgeIndex wrong")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	for _, v := range []NodeID{4, 2, 3, 1} {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb := g.Neighbors(0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatalf("neighbors not sorted: %v", nb)
+		}
+	}
+}
+
+func TestGeneratorsShape(t *testing.T) {
+	cases := []struct {
+		name     string
+		g        *Graph
+		wantN    int
+		wantM    int
+		wantDiam int
+		wantConn int
+	}{
+		{"K6", Clique(6), 6, 15, 1, 5},
+		{"C8", Cycle(8), 8, 8, 4, 2},
+		{"Circ(10,2)", Circulant(10, 2), 10, 20, 3, 4},
+		{"Grid3x3", Grid(3, 3), 9, 12, 4, 2},
+		{"Torus3x4", Torus(3, 4), 12, 24, 3, 4},
+		{"Q3", Hypercube(3), 8, 12, 3, 3},
+		{"K23", CompleteBipartite(2, 3), 5, 6, 2, 2},
+		{"Petersen", Petersen(), 10, 15, 2, 3},
+		{"Path5", Path(5), 5, 4, 4, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.g.N() != c.wantN {
+				t.Errorf("N = %d, want %d", c.g.N(), c.wantN)
+			}
+			if c.g.M() != c.wantM {
+				t.Errorf("M = %d, want %d", c.g.M(), c.wantM)
+			}
+			if d := c.g.Diameter(); d != c.wantDiam {
+				t.Errorf("Diameter = %d, want %d", d, c.wantDiam)
+			}
+			if k := c.g.EdgeConnectivity(); k != c.wantConn {
+				t.Errorf("EdgeConnectivity = %d, want %d", k, c.wantConn)
+			}
+		})
+	}
+}
+
+func TestRandomRegularIsRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomRegular(30, 4, rng)
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(NodeID(u)) != 4 {
+			t.Fatalf("node %d has degree %d, want 4", u, g.Degree(NodeID(u)))
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("random regular graph disconnected")
+	}
+}
+
+func TestGNPConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GNP(40, 0.25, rng)
+	if !g.IsConnected() {
+		t.Fatal("GNP returned disconnected graph")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(6)
+	dist, parent := g.BFS(0)
+	for v := 0; v < 6; v++ {
+		if dist[v] != v {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+	for v := 1; v < 6; v++ {
+		if parent[v] != NodeID(v-1) {
+			t.Fatalf("parent[%d] = %d, want %d", v, parent[v], v-1)
+		}
+	}
+}
+
+func TestEdgeDisjointPaths(t *testing.T) {
+	// Circulant(12,2) is 4-edge-connected: expect 4 disjoint paths between
+	// any pair.
+	g := Circulant(12, 2)
+	paths := g.EdgeDisjointPaths(0, 6, 4)
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths, want 4", len(paths))
+	}
+	usedEdges := make(map[Edge]bool)
+	for _, p := range paths {
+		if p[0] != 0 || p[len(p)-1] != 6 {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("path uses non-edge (%d,%d)", p[i], p[i+1])
+			}
+			e := NewEdge(p[i], p[i+1])
+			if usedEdges[e] {
+				t.Fatalf("edge %v reused across paths", e)
+			}
+			usedEdges[e] = true
+		}
+	}
+}
+
+func TestEdgeDisjointPathsLimited(t *testing.T) {
+	// On a cycle only 2 disjoint paths exist even if we ask for 5.
+	g := Cycle(8)
+	paths := g.EdgeDisjointPaths(0, 4, 5)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths on a cycle, want 2", len(paths))
+	}
+}
+
+func TestConnectedAvoiding(t *testing.T) {
+	g := Cycle(6)
+	if !g.ConnectedAvoiding(0, 3, []Edge{NewEdge(0, 1)}) {
+		t.Fatal("cycle should survive one edge removal")
+	}
+	if g.ConnectedAvoiding(0, 3, []Edge{NewEdge(0, 1), NewEdge(5, 0)}) {
+		t.Fatal("removing both incident edges of node 0 must disconnect it")
+	}
+}
+
+func TestConductanceClique(t *testing.T) {
+	// K4: every cut (S, V\S) with |S|=1 has cut=3, vol S = 3 -> phi = 1;
+	// |S|=2: cut=4, vol=6 -> 2/3. Exact conductance = 2/3.
+	g := Clique(4)
+	phi := g.Conductance()
+	if phi < 0.66 || phi > 0.67 {
+		t.Fatalf("K4 conductance = %f, want 2/3", phi)
+	}
+}
+
+func TestConductanceCycleLow(t *testing.T) {
+	g := Cycle(16)
+	phi := g.Conductance()
+	// Cycle conductance = 2/(vol of half) = 2/16 = 0.125.
+	if phi > 0.2 {
+		t.Fatalf("C16 conductance = %f, want <= 0.2", phi)
+	}
+}
+
+func TestEdgeConnectivityQuick(t *testing.T) {
+	// Property: circulant C(n,k) has edge connectivity exactly 2k.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		k := 1 + rng.Intn(2)
+		if n <= 2*k {
+			return true
+		}
+		return Circulant(n, k).EdgeConnectivity() == 2*k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirEdge(t *testing.T) {
+	d := DirEdge{From: 3, To: 1}
+	if d.Undirected() != (Edge{U: 1, V: 3}) {
+		t.Fatal("Undirected wrong")
+	}
+	if d.Reverse() != (DirEdge{From: 1, To: 3}) {
+		t.Fatal("Reverse wrong")
+	}
+	e := NewEdge(5, 2)
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Fatal("Other wrong")
+	}
+}
+
+func TestDisconnectedAnalyses(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if g.Diameter() != -1 {
+		t.Fatal("diameter of disconnected graph should be -1")
+	}
+	if g.Eccentricity(0) != -1 {
+		t.Fatal("eccentricity of disconnected graph should be -1")
+	}
+	if g.EdgeConnectivity() != 0 {
+		t.Fatal("edge connectivity of disconnected graph should be 0")
+	}
+}
+
+func TestRemoveEdgesAndClone(t *testing.T) {
+	g := Cycle(5)
+	h := g.RemoveEdges([]Edge{NewEdge(0, 1)})
+	if h.M() != 4 || g.M() != 5 {
+		t.Fatal("RemoveEdges wrong or mutated original")
+	}
+	c := g.Clone()
+	if c.M() != g.M() || c.N() != g.N() {
+		t.Fatal("clone shape wrong")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone lost an edge")
+	}
+}
+
+func TestBarbellShape(t *testing.T) {
+	g := Barbell(5)
+	if g.N() != 10 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() != 2*10+1 {
+		t.Fatalf("M = %d, want 21", g.M())
+	}
+	if g.EdgeConnectivity() != 1 {
+		t.Fatalf("barbell connectivity = %d, want 1 (the bridge)", g.EdgeConnectivity())
+	}
+	if phi := g.Conductance(); phi > 0.1 {
+		t.Fatalf("barbell conductance %f should be tiny", phi)
+	}
+}

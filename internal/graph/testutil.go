@@ -1,0 +1,18 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// RandomRegularForTest builds a random d-regular graph for tests, failing
+// the test instead of panicking if generation cannot succeed.
+func RandomRegularForTest(t *testing.T, n, d int, seed int64) *Graph {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("random regular generation failed: %v", r)
+		}
+	}()
+	return RandomRegular(n, d, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,110 @@
+// Package harness runs the experiment suite of EXPERIMENTS.md: one
+// experiment per theorem of the paper, each producing a table (rows of
+// measurements) whose shape must match the theorem's claim. cmd/mobilesim
+// prints them; the root bench_test.go wraps each in a testing.B benchmark.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one measurement row: ordered label/value pairs.
+type Row struct {
+	Labels []string
+	Values []string
+}
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper statement being validated
+	Columns []string
+	Rows    []Row
+	// Pass reports whether the measured shape matches the claim.
+	Pass bool
+	// Notes carries failure details or context.
+	Notes []string
+}
+
+// AddRow appends a row of stringified values.
+func (t *Table) AddRow(vals ...any) {
+	r := Row{}
+	for _, v := range vals {
+		r.Values = append(r.Values, fmt.Sprint(v))
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	status := "PASS"
+	if !t.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", t.ID, t.Title, status)
+	fmt.Fprintf(&b, "   claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r.Values {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	line := func(vals []string) {
+		b.WriteString("   ")
+		for i, v := range vals {
+			w := 8
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, v)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r.Values)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(seed int64) (*Table, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// Get returns an experiment by ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns all experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,44 @@
+package harness
+
+import "testing"
+
+// TestAllExperimentsPass runs the entire experiment suite; every table must
+// report Pass — this is the repository's end-to-end reproduction check.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(42)
+			if err != nil {
+				t.Fatalf("%s failed to run: %v", e.ID, err)
+			}
+			if !tb.Pass {
+				t.Errorf("%s did not match its claim:\n%s", e.ID, tb.Render())
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "F1", "F2", "F3", "F4", "F5", "A1", "A2", "A3"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "X", Title: "t", Claim: "c", Columns: []string{"a", "b"}, Pass: true}
+	tb.AddRow(1, "two")
+	out := tb.Render()
+	if out == "" || len(tb.Rows) != 1 {
+		t.Fatal("render or AddRow broken")
+	}
+}

@@ -1,0 +1,72 @@
+package harness
+
+import "math"
+
+// Statistical utilities for the security experiments: a two-sample
+// frequency comparison over byte histograms, used to assert that an
+// eavesdropper's views under two different inputs are indistinguishable
+// (and, in negative controls, that broken compilers are distinguishable).
+
+// ByteHistogram counts byte values over a sample of views.
+type ByteHistogram [256]float64
+
+// AddView folds one observed view into the histogram.
+func (h *ByteHistogram) AddView(view []byte) {
+	for _, b := range view {
+		h[b]++
+	}
+}
+
+// Total returns the number of counted bytes.
+func (h *ByteHistogram) Total() float64 {
+	t := 0.0
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// ChiSquare computes the chi-square statistic between two histograms
+// (comparing proportions; buckets empty in both are skipped). Returns the
+// statistic and the degrees of freedom.
+func ChiSquare(a, b *ByteHistogram) (stat float64, dof int) {
+	na, nb := a.Total(), b.Total()
+	if na == 0 || nb == 0 {
+		return 0, 0
+	}
+	for i := 0; i < 256; i++ {
+		ca, cb := a[i], b[i]
+		if ca+cb == 0 {
+			continue
+		}
+		// Pooled expectation under H0 (same distribution).
+		ea := (ca + cb) * na / (na + nb)
+		eb := (ca + cb) * nb / (na + nb)
+		if ea > 0 {
+			stat += (ca - ea) * (ca - ea) / ea
+		}
+		if eb > 0 {
+			stat += (cb - eb) * (cb - eb) / eb
+		}
+		dof++
+	}
+	if dof > 0 {
+		dof--
+	}
+	return stat, dof
+}
+
+// Indistinguishable reports whether the chi-square statistic is within a
+// generous acceptance region for the given degrees of freedom: mean dof,
+// standard deviation sqrt(2*dof), accepted within 6 sigma. (We avoid a
+// p-value table; the 6-sigma envelope keeps the false-alarm rate negligible
+// while still catching gross leaks, which in these experiments shift entire
+// byte distributions.)
+func Indistinguishable(stat float64, dof int) bool {
+	if dof <= 0 {
+		return true
+	}
+	mean := float64(dof)
+	sd := math.Sqrt(2 * float64(dof))
+	return stat <= mean+6*sd
+}

@@ -1,0 +1,116 @@
+package resilient
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/algorithms"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// selectTreeEdges is the worst-case-informed strategy: it knows the packing
+// (as the paper's all-powerful adversary does) and rotates through tree
+// edges only, maximizing the number of tree protocols it disturbs.
+func selectTreeEdges(sh *Shared) adversary.Selector {
+	var treeEdges []graph.Edge
+	seen := make(map[graph.Edge]bool)
+	for _, t := range sh.Packing.Trees {
+		for _, e := range t.Edges() {
+			if !seen[e] {
+				seen[e] = true
+				treeEdges = append(treeEdges, e)
+			}
+		}
+	}
+	offset := 0
+	return func(_ *rand.Rand, _ int, _ *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+		out := make([]graph.Edge, 0, f)
+		for i := 0; i < f && i < len(treeEdges); i++ {
+			out = append(out, treeEdges[(offset+i)%len(treeEdges)])
+		}
+		offset = (offset + f) % maxInt(1, len(treeEdges))
+		return out
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSparseCompilerAgainstTreeTargeting(t *testing.T) {
+	n := 12
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	adv := adversary.NewMobileByzantine(g, 2, 31, selectTreeEdges(sh), adversary.CorruptRandomize)
+	res := runCompiled(t, g, sh, adv, 8, nil, algorithms.FloodMax(2), Config{Mode: SparseMode, F: 2, Rep: 5})
+	for i, o := range res.Outputs {
+		if o.(uint64) != uint64(n-1) {
+			t.Fatalf("node %d output %v under tree-targeting adversary", i, o)
+		}
+	}
+}
+
+func TestSparseCompilerAtFullBudgetSweep(t *testing.T) {
+	// Failure-injection sweep: run the compiler exactly at several budgets
+	// and verify outputs across seeds.
+	n := 12
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	for _, f := range []int{1, 2, 3} {
+		for seed := int64(0); seed < 3; seed++ {
+			adv := adversary.NewMobileByzantine(g, f, 100+seed, adversary.SelectRandom, adversary.CorruptRandomize)
+			res := runCompiled(t, g, sh, adv, seed, nil, algorithms.FloodMax(2), Config{Mode: SparseMode, F: f, Rep: 5})
+			for i, o := range res.Outputs {
+				if o.(uint64) != uint64(n-1) {
+					t.Fatalf("f=%d seed=%d node %d output %v", f, seed, i, o)
+				}
+			}
+		}
+	}
+}
+
+func TestCompilerSilentPayloadRounds(t *testing.T) {
+	// A payload that stays silent in some rounds must not confuse the
+	// mismatch streams (absent messages are simply absent, and injections
+	// on silent edges must be deleted by minus-corrections).
+	n := 10
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	payload := func(rt congest.Runtime) {
+		var got int
+		for r := 0; r < 3; r++ {
+			out := map[graph.NodeID]congest.Msg{}
+			if r == 1 && rt.ID() == 0 {
+				for _, v := range rt.Neighbors() {
+					out[v] = congest.U64Msg(77)
+				}
+			}
+			in := rt.Exchange(out)
+			for from, m := range in {
+				if from == 0 && congest.U64(m) == 77 {
+					got++
+				}
+				if from != 0 && len(m) > 0 {
+					got = -1000 // received a message nobody sent
+				}
+			}
+		}
+		rt.SetOutput(got)
+	}
+	adv := adversary.NewMobileByzantine(g, 1, 17, adversary.SelectRandom, adversary.CorruptInject)
+	res := runCompiled(t, g, sh, adv, 9, nil, payload, Config{Mode: SparseMode, F: 1, Rep: 5})
+	for i, o := range res.Outputs {
+		want := 1
+		if i == 0 {
+			want = 0
+		}
+		if o.(int) != want {
+			t.Fatalf("node %d saw %v real-message events, want %d (injections must be scrubbed)", i, o, want)
+		}
+	}
+}

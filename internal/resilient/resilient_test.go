@@ -1,0 +1,232 @@
+package resilient
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/algorithms"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+func TestECCPlanGeometry(t *testing.T) {
+	p := NewECCPlan(16, 30)
+	if p.MsgBytes != 30 {
+		t.Fatalf("MsgBytes = %d, want 30", p.MsgBytes)
+	}
+	code, err := p.Code()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ell <= k*w/2 must hold so at least k/4 bad trees are tolerated.
+	if 2*code.K() > code.N() {
+		t.Fatalf("code rate too high: n=%d k=%d", code.N(), code.K())
+	}
+	if p.MsgBytes%2 != 0 {
+		t.Fatal("MsgBytes must be even")
+	}
+	podd := NewECCPlan(8, 7)
+	if podd.MsgBytes%2 != 0 {
+		t.Fatal("odd maxBytes not rounded up")
+	}
+}
+
+func TestECCShareRoundTrip(t *testing.T) {
+	p := NewECCPlan(12, 26)
+	msg := []byte("dominating-mismatch-list!!")
+	shares, err := p.encodeShares(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 12 {
+		t.Fatalf("%d shares, want 12", len(shares))
+	}
+	// Clean decode.
+	got, ok := p.decodeShares(shares)
+	if !ok {
+		t.Fatal("clean decode failed")
+	}
+	if string(got[:len(msg)]) != string(msg) {
+		t.Fatalf("decoded %q", got)
+	}
+	// Corrupt up to k/4 = 3 whole shares.
+	shares[1] = []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	shares[5] = nil
+	shares[9] = []byte{1, 2, 3}
+	got, ok = p.decodeShares(shares)
+	if !ok {
+		t.Fatal("decode with 3 bad shares failed")
+	}
+	if string(got[:len(msg)]) != string(msg) {
+		t.Fatalf("decoded %q after corruption", got)
+	}
+}
+
+// runCompiled runs a compiled payload on g and returns outputs.
+func runCompiled(t *testing.T, g *graph.Graph, sh *Shared, adv congest.Adversary, seed int64, inputs [][]byte, payload congest.Protocol, cfg Config) *congest.Result {
+	t.Helper()
+	res, err := congest.Run(congest.Config{
+		Graph:     g,
+		Seed:      seed,
+		Adversary: adv,
+		Inputs:    inputs,
+		Shared:    sh,
+		MaxRounds: 1 << 22,
+	}, Compile(payload, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSparseCompilerFaultFree(t *testing.T) {
+	n := 8
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	res := runCompiled(t, g, sh, nil, 1, nil, algorithms.FloodMax(2), Config{Mode: SparseMode, F: 1, Rep: 3})
+	for i, o := range res.Outputs {
+		if o.(uint64) != uint64(n-1) {
+			t.Fatalf("node %d output %v", i, o)
+		}
+	}
+}
+
+func TestSparseCompilerCliqueUnderMobileByzantine(t *testing.T) {
+	n := 12
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	for _, tc := range []struct {
+		name string
+		sel  adversary.Selector
+		cor  adversary.Corruption
+	}{
+		{"random-flip", adversary.SelectRandom, adversary.CorruptFlip},
+		{"random-randomize", adversary.SelectRandom, adversary.CorruptRandomize},
+		{"busiest-flip", adversary.SelectBusiest, adversary.CorruptFlip},
+		{"rotating-drop", adversary.SelectRotating(), adversary.CorruptDrop},
+		{"incident-inject", adversary.SelectIncident(graph.NodeID(n - 1)), adversary.CorruptInject},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			adv := adversary.NewMobileByzantine(g, 2, 7, tc.sel, tc.cor)
+			res := runCompiled(t, g, sh, adv, 2, nil, algorithms.FloodMax(2), Config{Mode: SparseMode, F: 2, Rep: 5})
+			for i, o := range res.Outputs {
+				if o.(uint64) != uint64(n-1) {
+					t.Fatalf("node %d output %v under %s", i, o, tc.name)
+				}
+			}
+		})
+	}
+}
+
+func TestSparseCompilerTokenRing(t *testing.T) {
+	// TokenRing is order-sensitive: any uncorrected corruption changes the
+	// trace. Compare against the fault-free trace.
+	n := 10
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	clean, err := congest.Run(congest.Config{Graph: g, Seed: 3}, algorithms.TokenRing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := adversary.NewMobileByzantine(g, 2, 11, adversary.SelectRandom, adversary.CorruptRandomize)
+	res := runCompiled(t, g, sh, adv, 3, nil, algorithms.TokenRing(4), Config{Mode: SparseMode, F: 2, Rep: 5})
+	for i := range res.Outputs {
+		if res.Outputs[i] != clean.Outputs[i] {
+			t.Fatalf("node %d trace diverged: %v vs %v", i, res.Outputs[i], clean.Outputs[i])
+		}
+	}
+}
+
+func TestSparseCompilerMSTClique(t *testing.T) {
+	n := 8
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	inputs := algorithms.CliqueWeights(n, 5)
+	want := algorithms.ReferenceMSTWeight(inputs)
+	adv := adversary.NewMobileByzantine(g, 1, 13, adversary.SelectBusiest, adversary.CorruptFlip)
+	res := runCompiled(t, g, sh, adv, 4, inputs, algorithms.MSTClique(), Config{Mode: SparseMode, F: 1, Rep: 5})
+	for i, o := range res.Outputs {
+		if o.(uint64) != want {
+			t.Fatalf("node %d MST weight %v, want %d", i, o, want)
+		}
+	}
+}
+
+func TestSparseCompilerGeneralGraph(t *testing.T) {
+	// Circulant(14,3): 6-edge-connected; pack 6 trees, defend f=1.
+	g := graph.Circulant(14, 3)
+	sh := GeneralShared(g, 6, 6)
+	if sh.Packing.K() < 4 {
+		t.Fatalf("packed only %d trees", sh.Packing.K())
+	}
+	adv := adversary.NewMobileByzantine(g, 1, 17, adversary.SelectRandom, adversary.CorruptRandomize)
+	res := runCompiled(t, g, sh, adv, 5, nil, algorithms.FloodMax(g.Diameter()), Config{Mode: SparseMode, F: 1, Rep: 5})
+	for i, o := range res.Outputs {
+		if o.(uint64) != uint64(g.N()-1) {
+			t.Fatalf("node %d output %v", i, o)
+		}
+	}
+}
+
+func TestL0CompilerFaultFree(t *testing.T) {
+	n := 10
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	res := runCompiled(t, g, sh, nil, 6, nil, algorithms.FloodMax(2), Config{Mode: L0Mode, F: 1, Rep: 3, Samplers: 6, Iterations: 3})
+	for i, o := range res.Outputs {
+		if o.(uint64) != uint64(n-1) {
+			t.Fatalf("node %d output %v", i, o)
+		}
+	}
+}
+
+func TestL0CompilerUnderMobileByzantine(t *testing.T) {
+	n := 16
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	adv := adversary.NewMobileByzantine(g, 1, 23, adversary.SelectRandom, adversary.CorruptFlip)
+	res := runCompiled(t, g, sh, adv, 7, nil, algorithms.FloodMax(2), Config{Mode: L0Mode, F: 1, Rep: 5, Samplers: 8, Iterations: 5})
+	for i, o := range res.Outputs {
+		if o.(uint64) != uint64(n-1) {
+			t.Fatalf("node %d output %v", i, o)
+		}
+	}
+}
+
+func TestCompilerRejectsOversizedPayload(t *testing.T) {
+	n := 6
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	big := func(rt congest.Runtime) {
+		out := map[graph.NodeID]congest.Msg{rt.Neighbors()[0]: make(congest.Msg, 9)}
+		rt.Exchange(out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized payload accepted")
+		}
+	}()
+	// Run synchronously on one fake runtime by invoking the compiled
+	// protocol via the engine; the panic propagates out of the node
+	// goroutine and fails the run. Recover via engine? The engine does not
+	// recover arbitrary panics, so call the protocol directly with a stub.
+	_ = g
+	Compile(big, Config{F: 1})(stubRuntime{sh: sh})
+}
+
+// stubRuntime is a minimal Runtime that panics on Exchange — enough to reach
+// the payload-size check.
+type stubRuntime struct{ sh *Shared }
+
+func (s stubRuntime) ID() graph.NodeID          { return 0 }
+func (s stubRuntime) N() int                    { return 6 }
+func (s stubRuntime) Neighbors() []graph.NodeID { return []graph.NodeID{1, 2, 3, 4, 5} }
+func (s stubRuntime) Exchange(map[graph.NodeID]congest.Msg) map[graph.NodeID]congest.Msg {
+	panic("stub exchange")
+}
+func (s stubRuntime) Round() int       { return 0 }
+func (s stubRuntime) Rand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+func (s stubRuntime) Input() []byte    { return nil }
+func (s stubRuntime) SetOutput(any)    {}
+func (s stubRuntime) Shared() any      { return s.sh }

@@ -1,0 +1,23 @@
+package rewind
+
+import (
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+	"mobilecongest/internal/resilient"
+)
+
+// Applications of Theorem 4.1 (Section 4.3).
+
+// CliqueShared builds the Theorem 4.11 preprocessing: the congested clique's
+// star packing, which needs no trusted computation. Any r-round clique
+// algorithm compiled over it tolerates round-error rate Theta(n/log n).
+func CliqueShared(n int) *resilient.Shared { return resilient.CliqueShared(n) }
+
+// ExpanderShared builds the Theorem 4.12 preprocessing by running the
+// padded-round distributed packing protocol under the round-error-rate
+// adversary itself, exactly as Section 4.3 prescribes: each packing round is
+// repeated pad times and receivers take majorities, so a bounded error rate
+// cannot flip a colour that it does not dominate.
+func ExpanderShared(g *graph.Graph, k, z, pad int, seed int64, adv congest.Adversary) (*resilient.Shared, int, error) {
+	return resilient.ExpanderShared(g, k, z, pad, seed, adv)
+}

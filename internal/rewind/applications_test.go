@@ -1,0 +1,64 @@
+package rewind
+
+import (
+	"testing"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/algorithms"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+	"mobilecongest/internal/resilient"
+)
+
+// TestTheorem411CliqueRoundErrorRate: the congested clique under a
+// round-error-rate adversary, per Theorem 4.11.
+func TestTheorem411CliqueRoundErrorRate(t *testing.T) {
+	n := 10
+	g := graph.Clique(n)
+	sh := CliqueShared(n)
+	inputs := algorithms.CliqueWeights(n, 3)
+	want := algorithms.ReferenceMSTWeight(inputs)
+	adv := adversary.NewRoundErrorRate(g, 3000, []int{2, 0, 1}, 7, adversary.SelectRandom, adversary.CorruptFlip)
+	r := algorithms.MSTRounds(n)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 2, Inputs: inputs, Shared: sh, Adversary: adv, MaxRounds: 1 << 24},
+		Compile(algorithms.MSTClique(), Config{R: r, F: 1, Rep: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if o.(Output).Payload.(uint64) != want {
+			t.Fatalf("node %d MST weight %v, want %d", i, o.(Output).Payload, want)
+		}
+	}
+}
+
+// TestTheorem412ExpanderRoundErrorRate: the full Section 4.3 pipeline —
+// padded packing computation under the round-error-rate adversary, then the
+// rewind compiler on top.
+func TestTheorem412ExpanderRoundErrorRate(t *testing.T) {
+	g := resilient.RandomExpander(30, 16, 13)
+	adv := adversary.NewRoundErrorRate(g, 500, []int{1}, 5, adversary.SelectRandom, adversary.CorruptFlip)
+	sh, packRounds, err := ExpanderShared(g, 3, 10, 7, 5, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packRounds <= 0 {
+		t.Fatal("packing phase took no rounds")
+	}
+	stats := sh.Packing.Validate(g, 10)
+	if stats.GoodTrees < 2 {
+		t.Fatalf("only %d/3 good trees under round-error-rate packing", stats.GoodTrees)
+	}
+	r := 2
+	adv2 := adversary.NewRoundErrorRate(g, 2000, []int{1}, 9, adversary.SelectRandom, adversary.CorruptRandomize)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 6, Shared: sh, Adversary: adv2, MaxRounds: 1 << 24},
+		Compile(algorithms.FloodMax(r), Config{R: r, F: 1, Rep: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if o.(Output).Payload.(uint64) != uint64(g.N()-1) {
+			t.Fatalf("node %d output %v", i, o.(Output).Payload)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package rewind
+
+import (
+	"testing"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/algorithms"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+	"mobilecongest/internal/resilient"
+)
+
+func runRewind(t *testing.T, g *graph.Graph, sh *resilient.Shared, adv congest.Adversary, seed int64, inputs [][]byte, payload congest.Protocol, cfg Config) *congest.Result {
+	t.Helper()
+	res, err := congest.Run(congest.Config{
+		Graph:     g,
+		Seed:      seed,
+		Adversary: adv,
+		Inputs:    inputs,
+		Shared:    sh,
+		MaxRounds: 1 << 22,
+	}, Compile(payload, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRewindFaultFree(t *testing.T) {
+	n := 8
+	g := graph.Clique(n)
+	sh := resilient.CliqueShared(n)
+	res := runRewind(t, g, sh, nil, 1, nil, algorithms.FloodMax(2), Config{R: 2, F: 1, Rep: 3})
+	for i, o := range res.Outputs {
+		out := o.(Output)
+		if out.Payload.(uint64) != uint64(n-1) {
+			t.Fatalf("node %d payload output %v", i, out.Payload)
+		}
+		if out.Trace.Rewinds != 0 {
+			t.Fatalf("node %d rewound %d times in a fault-free run", i, out.Trace.Rewinds)
+		}
+	}
+}
+
+func TestRewindTranscriptGrowsMonotonically(t *testing.T) {
+	n := 8
+	g := graph.Clique(n)
+	sh := resilient.CliqueShared(n)
+	res := runRewind(t, g, sh, nil, 2, nil, algorithms.FloodMax(3), Config{R: 3, F: 1, Rep: 3})
+	tr := res.Outputs[0].(Output).Trace
+	for i := 1; i < len(tr.Lens); i++ {
+		if tr.Lens[i] < tr.Lens[i-1] {
+			t.Fatalf("fault-free transcript shrank at %d: %v", i, tr.Lens)
+		}
+	}
+	if tr.Lens[len(tr.Lens)-1] < 3 {
+		t.Fatalf("final transcript length %d < R", tr.Lens[len(tr.Lens)-1])
+	}
+}
+
+func TestRewindUnderSteadyCorruption(t *testing.T) {
+	n := 10
+	g := graph.Clique(n)
+	sh := resilient.CliqueShared(n)
+	// Round-error-rate adversary: bursts of 2 every round within a total
+	// budget sized to the run length.
+	adv := adversary.NewRoundErrorRate(g, 1<<30, []int{1}, 7, adversary.SelectRandom, adversary.CorruptFlip)
+	res := runRewind(t, g, sh, adv, 3, nil, algorithms.FloodMax(2), Config{R: 2, F: 1, Rep: 5})
+	for i, o := range res.Outputs {
+		if o.(Output).Payload.(uint64) != uint64(n-1) {
+			t.Fatalf("node %d output %v under steady corruption", i, o.(Output).Payload)
+		}
+	}
+}
+
+func TestRewindUnderBursts(t *testing.T) {
+	// The defining Section-4 scenario: quiet most rounds, then a burst far
+	// above f — the compiler must rewind through it.
+	n := 10
+	g := graph.Clique(n)
+	sh := resilient.CliqueShared(n)
+	burst := []int{0, 0, 0, 0, 0, 0, 0, 12, 12, 0}
+	adv := adversary.NewRoundErrorRate(g, 400, burst, 9, adversary.SelectRandom, adversary.CorruptRandomize)
+	res := runRewind(t, g, sh, adv, 4, nil, algorithms.FloodMax(2), Config{R: 2, F: 2, Rep: 5})
+	for i, o := range res.Outputs {
+		if o.(Output).Payload.(uint64) != uint64(n-1) {
+			t.Fatalf("node %d output %v under bursts", i, o.(Output).Payload)
+		}
+	}
+}
+
+func TestRewindTokenRingOrderSensitive(t *testing.T) {
+	n := 8
+	g := graph.Clique(n)
+	sh := resilient.CliqueShared(n)
+	clean, err := congest.Run(congest.Config{Graph: g, Seed: 5}, algorithms.TokenRing(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := adversary.NewRoundErrorRate(g, 200, []int{1}, 11, adversary.SelectBusiest, adversary.CorruptFlip)
+	res := runRewind(t, g, sh, adv, 5, nil, algorithms.TokenRing(3), Config{R: 3, F: 1, Rep: 5})
+	for i := range res.Outputs {
+		if res.Outputs[i].(Output).Payload != clean.Outputs[i] {
+			t.Fatalf("node %d trace diverged", i)
+		}
+	}
+}
+
+func TestRewindPotentialBound(t *testing.T) {
+	// Theorem 4.1's accounting: with 5R global rounds, at most R of them
+	// bad, the final transcript must reach R. Verify on a run with
+	// moderate corruption.
+	n := 8
+	g := graph.Clique(n)
+	sh := resilient.CliqueShared(n)
+	adv := adversary.NewRoundErrorRate(g, 300, []int{1, 0, 2}, 13, adversary.SelectRandom, adversary.CorruptFlip)
+	r := 3
+	res := runRewind(t, g, sh, adv, 6, nil, algorithms.FloodMax(r), Config{R: r, F: 1, Rep: 5})
+	for i, o := range res.Outputs {
+		tr := o.(Output).Trace
+		final := tr.Lens[len(tr.Lens)-1]
+		if final < r {
+			t.Fatalf("node %d final transcript %d < R=%d (lens %v)", i, final, r, tr.Lens)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package secure
+
+import (
+	"testing"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+func TestMulticastCorrectness(t *testing.T) {
+	g := graph.Grid(4, 4)
+	instances := []MulticastInstance{
+		{Source: 0, Target: 15},
+		{Source: 3, Target: 12},
+		{Source: 5, Target: 10},
+	}
+	sh := NewMulticastShared(g, instances)
+	inputs := make([][]byte, g.N())
+	secrets := []uint64{0x1111, 0x2222, 0x3333}
+	for j, inst := range instances {
+		buf := inputs[inst.Source]
+		if buf == nil {
+			buf = make([]byte, 8*len(instances))
+		}
+		copy(buf[8*j:], congest.PutU64(nil, secrets[j]))
+		inputs[inst.Source] = buf
+	}
+	eve := adversary.NewMobileEavesdropper(g, 2, 5)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 3, Inputs: inputs, Shared: sh, Adversary: eve},
+		MobileSecureMulticast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, inst := range instances {
+		got := res.Outputs[inst.Target].(MulticastResult).Secrets[j]
+		if got != secrets[j] {
+			t.Fatalf("instance %d: target recovered %x, want %x", j, got, secrets[j])
+		}
+	}
+	if res.Stats.Rounds != MulticastRounds(sh) {
+		t.Fatalf("rounds = %d, want %d (= 2R + D)", res.Stats.Rounds, MulticastRounds(sh))
+	}
+}
+
+func TestMulticastSharedSources(t *testing.T) {
+	// One node sources two instances with different secrets.
+	g := graph.Circulant(10, 2)
+	instances := []MulticastInstance{
+		{Source: 2, Target: 7},
+		{Source: 2, Target: 9},
+	}
+	sh := NewMulticastShared(g, instances)
+	inputs := make([][]byte, g.N())
+	buf := congest.PutU64(nil, 0xAAAA)
+	buf = congest.PutU64(buf, 0xBBBB)
+	inputs[2] = buf
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 4, Inputs: inputs, Shared: sh}, MobileSecureMulticast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs[7].(MulticastResult).Secrets[0]; got != 0xAAAA {
+		t.Fatalf("instance 0 got %x", got)
+	}
+	if got := res.Outputs[9].(MulticastResult).Secrets[1]; got != 0xBBBB {
+		t.Fatalf("instance 1 got %x", got)
+	}
+}
+
+func TestMulticastCongestionBound(t *testing.T) {
+	// Each instance adds at most one message per edge: per-edge congestion
+	// is bounded by R (keys) + R (payload sections share rounds).
+	g := graph.Cycle(8)
+	instances := []MulticastInstance{{Source: 0, Target: 4}, {Source: 1, Target: 5}}
+	sh := NewMulticastShared(g, instances)
+	inputs := make([][]byte, g.N())
+	inputs[0] = make([]byte, 16)
+	inputs[1] = make([]byte, 16)
+	copy(inputs[0][0:], congest.PutU64(nil, 7))
+	copy(inputs[1][8:], congest.PutU64(nil, 9))
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 5, Inputs: inputs, Shared: sh}, MobileSecureMulticast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxEdgeCongestion > 2*len(instances)+sh.MaxDepth() {
+		t.Fatalf("congestion %d too high", res.Stats.MaxEdgeCongestion)
+	}
+}

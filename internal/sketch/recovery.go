@@ -1,0 +1,168 @@
+package sketch
+
+// Recovery is an s-sparse recovery sketch: if the stream's support has at
+// most s non-zero-frequency elements, Decode returns all of them exactly
+// (w.h.p.). It hashes elements into rows x width one-sparse buckets and
+// decodes by peeling. This powers the Õ(D_TP + f) variant of the byzantine
+// compiler (Section 1.2.2) and the message-correction procedure of
+// Lemma 4.2, both of which need the *full* mismatch list at the root.
+type Recovery struct {
+	seed    uint64
+	rows    int
+	width   int
+	buckets [][]*OneSparse
+	rowKey  []uint64
+}
+
+// NewRecovery creates a sketch for supports up to s elements. It uses
+// 2s-wide rows and a logarithmic number of rows, the standard parameters
+// under which peeling succeeds w.h.p.
+func NewRecovery(seed uint64, s int) *Recovery {
+	if s < 1 {
+		s = 1
+	}
+	rows := 6
+	width := 2 * s
+	r := &Recovery{seed: seed, rows: rows, width: width}
+	r.buckets = make([][]*OneSparse, rows)
+	r.rowKey = make([]uint64, rows)
+	for i := 0; i < rows; i++ {
+		r.buckets[i] = make([]*OneSparse, width)
+		for j := 0; j < width; j++ {
+			r.buckets[i][j] = NewOneSparse(seed ^ (uint64(i*width+j+1) * 0x9e3779b97f4a7c15))
+		}
+		r.rowKey[i] = mix64(seed ^ (uint64(i+1) * 0xc2b2ae3d27d4eb4f))
+	}
+	return r
+}
+
+// S returns the sparsity parameter (width/2).
+func (r *Recovery) S() int { return r.width / 2 }
+
+func (r *Recovery) bucketOf(row int, e Elem) int {
+	return int(prf64(r.rowKey[row], e) % uint64(r.width))
+}
+
+// Update adds element e with frequency freq.
+func (r *Recovery) Update(e Elem, freq int64) {
+	for i := 0; i < r.rows; i++ {
+		r.buckets[i][r.bucketOf(i, e)].Update(e, freq)
+	}
+}
+
+// Merge folds another sketch (same seed and sparsity) into r.
+func (r *Recovery) Merge(other *Recovery) {
+	for i := 0; i < r.rows; i++ {
+		for j := 0; j < r.width; j++ {
+			r.buckets[i][j].Merge(other.buckets[i][j])
+		}
+	}
+}
+
+// Item is one recovered (element, net frequency) pair.
+type Item struct {
+	E    Elem
+	Freq int64
+}
+
+// Decode peels the sketch and returns the recovered support. ok=false when
+// peeling stalls before emptying the sketch (support larger than s, or a
+// corrupted sketch).
+func (r *Recovery) Decode() (items []Item, ok bool) {
+	// Work on a copy so Decode is non-destructive.
+	work := NewRecovery(r.seed, r.S())
+	work.Merge(r)
+	for iter := 0; iter <= 4*r.width*r.rows; iter++ {
+		progressed := false
+		for i := 0; i < work.rows && !progressed; i++ {
+			for j := 0; j < work.width && !progressed; j++ {
+				b := work.buckets[i][j]
+				if b.IsEmpty() {
+					continue
+				}
+				e, f, decOK := b.Decode()
+				if !decOK {
+					continue
+				}
+				items = append(items, Item{E: e, Freq: f})
+				work.Update(e, -f)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	for i := 0; i < work.rows; i++ {
+		for j := 0; j < work.width; j++ {
+			if !work.buckets[i][j].IsEmpty() {
+				return items, false
+			}
+		}
+	}
+	return items, true
+}
+
+// ResidualBuckets returns how many buckets stay non-empty after peeling —
+// diagnostic for distinguishing "support slightly over s" from structural
+// aggregation loss.
+func (r *Recovery) ResidualBuckets() int {
+	work := NewRecovery(r.seed, r.S())
+	work.Merge(r)
+	if items, _ := work.Decode(); items != nil {
+		for _, it := range items {
+			work.Update(it.E, -it.Freq)
+		}
+	}
+	n := 0
+	for i := 0; i < work.rows; i++ {
+		for j := 0; j < work.width; j++ {
+			if !work.buckets[i][j].IsEmpty() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Encode serializes the sketch: rows*width one-sparse triples of 32 bytes.
+func (r *Recovery) Encode() []byte {
+	out := make([]byte, 0, 32*r.rows*r.width)
+	for i := 0; i < r.rows; i++ {
+		for j := 0; j < r.width; j++ {
+			out = append(out, r.buckets[i][j].Encode()...)
+		}
+	}
+	return out
+}
+
+// EncodedSize returns the wire size for sparsity s.
+func EncodedSize(s int) int {
+	if s < 1 {
+		s = 1
+	}
+	return 32 * 6 * 2 * s
+}
+
+// DecodeRecovery parses a wire image produced with the same seed and
+// sparsity. Corrupted bytes yield a garbage (but well-formed) sketch.
+func DecodeRecovery(seed uint64, s int, data []byte) *Recovery {
+	r := NewRecovery(seed, s)
+	idx := 0
+	for i := 0; i < r.rows; i++ {
+		for j := 0; j < r.width; j++ {
+			off := 32 * idx
+			var chunk []byte
+			if off < len(data) {
+				end := off + 32
+				if end > len(data) {
+					end = len(data)
+				}
+				chunk = data[off:end]
+			}
+			r.buckets[i][j] = DecodeOneSparse(r.seed^(uint64(i*r.width+j+1)*0x9e3779b97f4a7c15), chunk)
+			idx++
+		}
+	}
+	return r
+}

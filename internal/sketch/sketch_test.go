@@ -1,0 +1,311 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOneSparseSingleElement(t *testing.T) {
+	o := NewOneSparse(7)
+	e := Pack(12345, 0xdeadbeefcafe)
+	o.Update(e, 1)
+	got, f, ok := o.Decode()
+	if !ok || got != e || f != 1 {
+		t.Fatalf("decode = (%v,%d,%v), want (%v,1,true)", got, f, ok, e)
+	}
+}
+
+func TestOneSparseNegativeFrequency(t *testing.T) {
+	o := NewOneSparse(8)
+	e := Pack(3, 999)
+	o.Update(e, -1)
+	got, f, ok := o.Decode()
+	if !ok || got != e || f != -1 {
+		t.Fatalf("decode = (%v,%d,%v), want (%v,-1,true)", got, f, ok, e)
+	}
+}
+
+func TestOneSparseCancellation(t *testing.T) {
+	o := NewOneSparse(9)
+	e1, e2 := Pack(1, 100), Pack(2, 200)
+	o.Update(e1, 1)
+	o.Update(e2, 1)
+	o.Update(e1, -1)
+	got, f, ok := o.Decode()
+	if !ok || got != e2 || f != 1 {
+		t.Fatalf("after cancellation decode = (%v,%d,%v), want (%v,1,true)", got, f, ok, e2)
+	}
+	o.Update(e2, -1)
+	if !o.IsEmpty() {
+		t.Fatal("fully cancelled sketch not empty")
+	}
+}
+
+func TestOneSparseRejectsTwoSparse(t *testing.T) {
+	rejected := 0
+	const trials = 200
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < trials; i++ {
+		o := NewOneSparse(rng.Uint64())
+		o.Update(Pack(uint32(rng.Intn(1000)), rng.Uint64()), 1)
+		o.Update(Pack(uint32(1000+rng.Intn(1000)), rng.Uint64()), 1)
+		if _, _, ok := o.Decode(); !ok {
+			rejected++
+		}
+	}
+	if rejected < trials-1 {
+		t.Fatalf("two-sparse accepted %d/%d times", trials-rejected, trials)
+	}
+}
+
+func TestOneSparseMergeEqualsUnion(t *testing.T) {
+	a := NewOneSparse(5)
+	b := NewOneSparse(5)
+	e := Pack(77, 42)
+	a.Update(Pack(1, 1), 1)
+	b.Update(Pack(1, 1), -1)
+	b.Update(e, 1)
+	a.Merge(b)
+	got, f, ok := a.Decode()
+	if !ok || got != e || f != 1 {
+		t.Fatalf("merged decode = (%v,%d,%v), want (%v,1,true)", got, f, ok, e)
+	}
+}
+
+func TestOneSparseWire(t *testing.T) {
+	o := NewOneSparse(11)
+	e := Pack(500, 123456789)
+	o.Update(e, 1)
+	o2 := DecodeOneSparse(11, o.Encode())
+	got, f, ok := o2.Decode()
+	if !ok || got != e || f != 1 {
+		t.Fatal("wire round-trip lost the element")
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	f := func(idx uint32, payload uint64) bool {
+		idx %= MaxEdgeIndex
+		e := Pack(idx, payload)
+		gi, gp := e.Unpack()
+		return gi == idx && gp == payload
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL0SamplerUniformity(t *testing.T) {
+	// Insert 8 elements; across many seeds the sample distribution should
+	// be roughly uniform (Theorem 3.4's near-uniformity).
+	elems := make([]Elem, 8)
+	for i := range elems {
+		elems[i] = Pack(uint32(i+1), uint64(1000+i))
+	}
+	counts := make(map[Elem]int)
+	rng := rand.New(rand.NewSource(2))
+	const trials = 4000
+	fails := 0
+	for trial := 0; trial < trials; trial++ {
+		s := NewL0Sampler(rng.Uint64())
+		for _, e := range elems {
+			s.Update(e, 1)
+		}
+		e, f, ok := s.Query()
+		if !ok {
+			fails++
+			continue
+		}
+		if f != 1 {
+			t.Fatalf("sampled frequency %d, want 1", f)
+		}
+		counts[e]++
+	}
+	if fails > trials/3 {
+		t.Fatalf("sampler failed %d/%d times", fails, trials)
+	}
+	succeeded := trials - fails
+	want := float64(succeeded) / 8
+	for _, e := range elems {
+		c := counts[e]
+		if float64(c) < want*0.5 || float64(c) > want*1.6 {
+			t.Errorf("element %v sampled %d times, expected about %f", e, c, want)
+		}
+	}
+	// Only inserted elements may ever be returned.
+	for e := range counts {
+		found := false
+		for _, x := range elems {
+			if x == e {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sampler fabricated element %v", e)
+		}
+	}
+}
+
+func TestL0SamplerEmpty(t *testing.T) {
+	s := NewL0Sampler(3)
+	if !s.Empty() {
+		t.Fatal("fresh sampler not empty")
+	}
+	if _, _, ok := s.Query(); ok {
+		t.Fatal("query on empty support succeeded")
+	}
+	e := Pack(1, 2)
+	s.Update(e, 1)
+	s.Update(e, -1)
+	if !s.Empty() {
+		t.Fatal("cancelled sampler not empty")
+	}
+}
+
+func TestL0SamplerMergeAcrossParts(t *testing.T) {
+	// Simulate the distributed aggregation: the stream is split across 10
+	// "nodes", sketches merged pairwise; the sample must still come from
+	// the joint support.
+	seed := uint64(44)
+	parts := make([]*L0Sampler, 10)
+	for i := range parts {
+		parts[i] = NewL0Sampler(seed)
+	}
+	// Element i inserted at node i with +1 and at node (i+1)%10 with -1
+	// except element 0 which survives.
+	for i := 1; i < 10; i++ {
+		e := Pack(uint32(i), uint64(i))
+		parts[i].Update(e, 1)
+		parts[(i+1)%10].Update(e, -1)
+	}
+	survivor := Pack(42, 4242)
+	parts[3].Update(survivor, 1)
+	root := NewL0Sampler(seed)
+	for _, p := range parts {
+		root.Merge(p)
+	}
+	e, f, ok := root.Query()
+	if !ok || e != survivor || f != 1 {
+		t.Fatalf("merged query = (%v,%d,%v), want survivor", e, f, ok)
+	}
+}
+
+func TestL0Wire(t *testing.T) {
+	s := NewL0Sampler(77)
+	e := Pack(9, 9)
+	s.Update(e, 1)
+	enc := s.Encode()
+	if len(enc) != EncodedL0Size {
+		t.Fatalf("encoded size %d, want %d", len(enc), EncodedL0Size)
+	}
+	s2 := DecodeL0Sampler(77, enc)
+	got, _, ok := s2.Query()
+	if !ok || got != e {
+		t.Fatal("wire round-trip lost the sample")
+	}
+}
+
+func TestRecoveryExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		s := 1 + rng.Intn(12)
+		r := NewRecovery(rng.Uint64(), s)
+		want := make(map[Elem]int64)
+		for i := 0; i < s; i++ {
+			e := Pack(uint32(rng.Intn(10000)), rng.Uint64())
+			f := int64(1)
+			if rng.Intn(2) == 0 {
+				f = -1
+			}
+			if _, dup := want[e]; dup {
+				continue
+			}
+			want[e] = f
+			r.Update(e, f)
+		}
+		items, ok := r.Decode()
+		if !ok {
+			t.Fatalf("trial %d: decode failed with support %d <= s=%d", trial, len(want), s)
+		}
+		if len(items) != len(want) {
+			t.Fatalf("trial %d: got %d items, want %d", trial, len(items), len(want))
+		}
+		for _, it := range items {
+			if want[it.E] != it.Freq {
+				t.Fatalf("trial %d: item %v freq %d, want %d", trial, it.E, it.Freq, want[it.E])
+			}
+		}
+	}
+}
+
+func TestRecoveryOverflowDetected(t *testing.T) {
+	// Support 4x the sparsity: decode must report failure, not fabricate.
+	r := NewRecovery(5, 2)
+	rng := rand.New(rand.NewSource(5))
+	inserted := make(map[Elem]bool)
+	for i := 0; i < 8; i++ {
+		e := Pack(uint32(i+1), rng.Uint64())
+		inserted[e] = true
+		r.Update(e, 1)
+	}
+	items, ok := r.Decode()
+	if ok && len(items) < 8 {
+		t.Fatal("overfull sketch claimed complete decode with missing items")
+	}
+	for _, it := range items {
+		if !inserted[it.E] {
+			t.Fatalf("fabricated element %v", it.E)
+		}
+	}
+}
+
+func TestRecoveryMergeAndWire(t *testing.T) {
+	seed := uint64(99)
+	a := NewRecovery(seed, 4)
+	b := NewRecovery(seed, 4)
+	e1, e2 := Pack(1, 11), Pack(2, 22)
+	a.Update(e1, 1)
+	b.Update(e2, -1)
+	b.Update(e1, 0) // no-op
+	c := DecodeRecovery(seed, 4, a.Encode())
+	c.Merge(b)
+	items, ok := c.Decode()
+	if !ok || len(items) != 2 {
+		t.Fatalf("merged wire decode: ok=%v items=%v", ok, items)
+	}
+}
+
+func TestRecoveryDecodeNonDestructive(t *testing.T) {
+	r := NewRecovery(1, 3)
+	e := Pack(5, 55)
+	r.Update(e, 1)
+	if _, ok := r.Decode(); !ok {
+		t.Fatal("first decode failed")
+	}
+	items, ok := r.Decode()
+	if !ok || len(items) != 1 || items[0].E != e {
+		t.Fatal("second decode differs — Decode is destructive")
+	}
+}
+
+func BenchmarkL0Update(b *testing.B) {
+	s := NewL0Sampler(1)
+	for i := 0; i < b.N; i++ {
+		s.Update(Pack(uint32(i%1000), uint64(i)), 1)
+	}
+}
+
+func BenchmarkRecoveryDecode(b *testing.B) {
+	r := NewRecovery(1, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		r.Update(Pack(uint32(i+1), rng.Uint64()), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Decode(); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package treepack
+
+import (
+	"fmt"
+	"testing"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+func runDistPacking(t *testing.T, g *graph.Graph, k int) *Packing {
+	t.Helper()
+	n := g.N()
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 3, MaxRounds: 1 << 22},
+		DistributedGreedyPacking(k, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DistPackingRounds(n, k, n); res.Stats.Rounds != want {
+		t.Fatalf("rounds = %d, want %d", res.Stats.Rounds, want)
+	}
+	return AssembleDistPacking(n, k, res.Outputs)
+}
+
+func TestDistributedPackingSpanningTrees(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"circulant(12,3)", graph.Circulant(12, 3), 4},
+		{"clique(9)", graph.Clique(9), 4},
+		{"hypercube(3)", graph.Hypercube(3), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := runDistPacking(t, tc.g, tc.k)
+			s := p.Validate(tc.g, 0)
+			if s.GoodTrees != tc.k {
+				for j, tr := range p.Trees {
+					fmt.Printf("tree %d: spanning=%v depth=%d\n", j, tr.IsSpanning(tc.g), tr.Depth())
+				}
+				t.Fatalf("%d/%d good spanning trees", s.GoodTrees, tc.k)
+			}
+		})
+	}
+}
+
+func TestDistributedPackingLoadSpread(t *testing.T) {
+	// The exponential weights must spread load: on a 6-edge-connected
+	// circulant, 4 trees should overlap on few edges — far from the
+	// degenerate load=k that unweighted repetition gives.
+	g := graph.Circulant(14, 3)
+	p := runDistPacking(t, g, 4)
+	if load := p.Load(); load > 3 {
+		t.Fatalf("distributed packing load = %d, want <= 3", load)
+	}
+}
+
+func TestDistributedMatchesCentralizedQuality(t *testing.T) {
+	g := graph.Circulant(12, 3)
+	dist := runDistPacking(t, g, 3)
+	cent := GreedyLowDepth(g, graph.NodeID(11), 3, 8, 1)
+	ds := dist.Validate(g, 0)
+	cs := cent.Validate(g, 0)
+	if ds.GoodTrees != cs.GoodTrees {
+		t.Fatalf("distributed %d good trees vs centralized %d", ds.GoodTrees, cs.GoodTrees)
+	}
+	// Loads should be in the same ballpark (within 2x).
+	if ds.Load > 2*cs.Load+1 {
+		t.Fatalf("distributed load %d much worse than centralized %d", ds.Load, cs.Load)
+	}
+}
+
+// TestDistributedPackingIntoCompilerPipeline: the distributed packing's
+// output plugs directly into the byzantine compiler's preprocessing shape.
+func TestDistributedPackingIntoCompilerPipeline(t *testing.T) {
+	g := graph.Circulant(12, 3)
+	p := runDistPacking(t, g, 6)
+	if !p.IsWeak(g, 2*g.N(), 6) {
+		t.Fatalf("distributed packing does not satisfy the weak-packing predicate: %v", p.Validate(g, 0))
+	}
+}

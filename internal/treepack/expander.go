@@ -1,0 +1,183 @@
+package treepack
+
+import (
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// Distributed expander tree packing (Lemma 3.10 and its padded-round
+// byzantine-resilient variant, Section 4.3). Every edge picks a uniform
+// colour in [k] (chosen by the higher-ID endpoint and announced to the
+// other); each colour class G_i then runs a BFS toward the maximum ID for z
+// rounds, orienting parent pointers toward the eventual root n-1. Colours
+// whose edges the adversary never touched form spanning trees of depth
+// O(log n / phi) w.h.p. (Lemma 3.13/3.14); the output is a weak packing.
+
+// ExpanderResult is the per-node output: parent per colour (-1 = none).
+type ExpanderResult struct {
+	Parent []graph.NodeID
+}
+
+// ExpanderPacking returns the fault-free distributed packing protocol with
+// k colours and z BFS rounds. Total rounds: 1 + z + 1.
+func ExpanderPacking(k, z int) congest.Protocol {
+	return expanderProtocol(k, z, 1)
+}
+
+// ExpanderPackingPadded is the byzantine-tolerant variant: every logical
+// round is repeated pad times and receivers take per-neighbour majority —
+// the padded-round scheme of Theorem 4.12's first phase. Total rounds:
+// (1 + z + 1) * pad.
+func ExpanderPackingPadded(k, z, pad int) congest.Protocol {
+	return expanderProtocol(k, z, pad)
+}
+
+func expanderProtocol(k, z, pad int) congest.Protocol {
+	return func(rt congest.Runtime) {
+		nbs := rt.Neighbors()
+		// Logical round 1: higher-ID endpoint picks each edge's colour.
+		myColor := make(map[graph.NodeID]uint64, len(nbs)) // proposals for edges I own
+		for _, v := range nbs {
+			if rt.ID() > v {
+				myColor[v] = uint64(rt.Rand().Intn(k))
+			}
+		}
+		buildOut := func() map[graph.NodeID]congest.Msg {
+			out := make(map[graph.NodeID]congest.Msg, len(nbs))
+			for _, v := range nbs {
+				if c, mine := myColor[v]; mine {
+					out[v] = congest.U64Msg(c)
+				} else {
+					out[v] = congest.U64Msg(0) // keep traffic volume symmetric
+				}
+			}
+			return out
+		}
+		colorIn := paddedExchange(rt, buildOut, pad)
+		color := make(map[graph.NodeID]int, len(nbs)) // final colour per incident edge
+		for _, v := range nbs {
+			if c, mine := myColor[v]; mine {
+				color[v] = int(c % uint64(k))
+			} else if m, ok := colorIn[v]; ok {
+				color[v] = int(congest.U64(m) % uint64(k))
+			} else {
+				color[v] = -1 // no colour heard; edge unusable
+			}
+		}
+		// BFS-to-max-ID per colour. I track best ID seen and parent per
+		// colour; each logical round sends my best per colour to the
+		// neighbours sharing that colour. Wire format packs one u64 per
+		// incident edge: the best ID for that edge's colour.
+		best := make([]uint64, k)
+		parent := make([]graph.NodeID, k)
+		for i := 0; i < k; i++ {
+			best[i] = uint64(rt.ID()) + 1 // +1 so 0 means "nothing"
+			parent[i] = -1
+		}
+		for round := 0; round < z; round++ {
+			buildBFS := func() map[graph.NodeID]congest.Msg {
+				out := make(map[graph.NodeID]congest.Msg, len(nbs))
+				for _, v := range nbs {
+					c := color[v]
+					if c < 0 {
+						out[v] = congest.U64Msg(0)
+						continue
+					}
+					out[v] = congest.U64Msg(best[c])
+				}
+				return out
+			}
+			in := paddedExchange(rt, buildBFS, pad)
+			for _, v := range nbs {
+				c := color[v]
+				if c < 0 {
+					continue
+				}
+				m, ok := in[v]
+				if !ok {
+					continue
+				}
+				val := congest.U64(m)
+				if val > best[c] && val <= uint64(rt.N()) {
+					best[c] = val
+					parent[c] = v
+				}
+			}
+		}
+		// Final logical round: notify parents so orientations are mutual
+		// (per the paper); the parent array itself is the result we keep.
+		buildNotify := func() map[graph.NodeID]congest.Msg {
+			out := make(map[graph.NodeID]congest.Msg, len(nbs))
+			for _, v := range nbs {
+				var mask uint64
+				for c := 0; c < k && c < 64; c++ {
+					if parent[c] == v {
+						mask |= 1 << uint(c)
+					}
+				}
+				out[v] = congest.U64Msg(mask)
+			}
+			return out
+		}
+		paddedExchange(rt, buildNotify, pad)
+		rt.SetOutput(ExpanderResult{Parent: parent})
+	}
+}
+
+// paddedExchange sends the same outbox pad times and returns the
+// per-neighbour majority message (nil when no majority).
+func paddedExchange(rt congest.Runtime, build func() map[graph.NodeID]congest.Msg, pad int) map[graph.NodeID]congest.Msg {
+	if pad <= 1 {
+		return rt.Exchange(build())
+	}
+	counts := make(map[graph.NodeID]map[string]int)
+	for r := 0; r < pad; r++ {
+		in := rt.Exchange(build())
+		for from, m := range in {
+			if counts[from] == nil {
+				counts[from] = make(map[string]int)
+			}
+			counts[from][string(m)]++
+		}
+	}
+	out := make(map[graph.NodeID]congest.Msg)
+	for from, cs := range counts {
+		bestCnt := 0
+		var bestMsg string
+		for m, c := range cs {
+			if c > bestCnt {
+				bestCnt = c
+				bestMsg = m
+			}
+		}
+		if bestCnt*2 > pad {
+			out[from] = congest.Msg(bestMsg)
+		}
+	}
+	return out
+}
+
+// AssemblePacking collects the per-node ExpanderResult outputs of a run into
+// a weak packing rooted at n-1.
+func AssemblePacking(n, k int, outputs []any) *Packing {
+	maps := make([][]graph.NodeID, k)
+	for j := 0; j < k; j++ {
+		maps[j] = make([]graph.NodeID, n)
+		for v := 0; v < n; v++ {
+			maps[j][v] = -1
+		}
+	}
+	for v, o := range outputs {
+		res, ok := o.(ExpanderResult)
+		if !ok {
+			continue
+		}
+		for j := 0; j < k && j < len(res.Parent); j++ {
+			maps[j][v] = res.Parent[j]
+		}
+	}
+	return FromParentMaps(graph.NodeID(n-1), maps)
+}
+
+// ExpanderRounds returns the round count of the (padded) packing protocol.
+func ExpanderRounds(z, pad int) int { return (1 + z + 1) * pad }

@@ -1,0 +1,74 @@
+package treepack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobilecongest/internal/graph"
+)
+
+// TestGreedyPackingInvariantsQuick: for random circulant parameters, every
+// tree the greedy packer emits is a spanning tree rooted at the requested
+// root with depth within the (relaxed) bound, and the load never exceeds k.
+func TestGreedyPackingInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(8)
+		c := 2 + rng.Intn(2)
+		if n <= 2*c {
+			return true
+		}
+		g := graph.Circulant(n, c)
+		k := 2 + rng.Intn(4)
+		depthBound := 4 + rng.Intn(6)
+		root := graph.NodeID(n - 1)
+		p := GreedyLowDepth(g, root, k, depthBound, 1)
+		for _, tr := range p.Trees {
+			if tr.Root != root || !tr.IsSpanning(g) {
+				return false
+			}
+			d := tr.Depth()
+			if d < 0 || d > depthBound {
+				return false
+			}
+		}
+		return p.Load() <= maxIntP(1, p.K())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCliqueStarsInvariantQuick: star packings are exact for every n.
+func TestCliqueStarsInvariantQuick(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 3 + int(raw)%14
+		p := CliqueStars(n)
+		s := p.Validate(graph.Clique(n), 2)
+		return s.GoodTrees == n && s.Load == 2 && s.MaxDepth <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateRejectsForeignRoot: trees rooted elsewhere are not "good".
+func TestValidateRejectsForeignRoot(t *testing.T) {
+	g := graph.Path(3)
+	p := &Packing{Root: 0}
+	tr := NewTree(3, 2) // rooted at 2, packing claims root 0
+	tr.Parent[1] = 2
+	tr.Parent[0] = 1
+	p.Trees = append(p.Trees, tr)
+	if s := p.Validate(g, 5); s.GoodTrees != 0 {
+		t.Fatalf("foreign-rooted tree counted as good")
+	}
+}
+
+func maxIntP(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,214 @@
+// Package treepack implements the low-diameter tree packings of Tool 1
+// (Definitions 6 and 7): the clique star packing behind Theorem 1.6, the
+// randomized expander packing of Lemma 3.10 (with its byzantine-resilient
+// distributed variant from Section 4.3), and the greedy multiplicative-
+// weights packing of Appendix C for general (k, D_TP)-connected graphs.
+package treepack
+
+import (
+	"fmt"
+
+	"mobilecongest/internal/graph"
+)
+
+// Tree is a rooted spanning (or partial, for weak packings) tree given by
+// parent pointers. Parent[Root] = Root; Parent[v] = -1 marks v outside the
+// tree.
+type Tree struct {
+	Root   graph.NodeID
+	Parent []graph.NodeID
+}
+
+// NewTree allocates an n-node tree with only the root placed.
+func NewTree(n int, root graph.NodeID) *Tree {
+	t := &Tree{Root: root, Parent: make([]graph.NodeID, n)}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	t.Parent[root] = root
+	return t
+}
+
+// Depth returns the maximum root distance over nodes in the tree, or -1 if
+// the parent pointers are broken (cycle or dangling parent).
+func (t *Tree) Depth() int {
+	n := len(t.Parent)
+	depth := 0
+	for v := range t.Parent {
+		if t.Parent[v] < 0 {
+			continue
+		}
+		d := 0
+		u := graph.NodeID(v)
+		for u != t.Root {
+			u = t.Parent[u]
+			d++
+			if d > n || u < 0 || int(u) >= n {
+				return -1
+			}
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// IsSpanning reports whether every node reaches the root through parent
+// pointers that are all edges of g.
+func (t *Tree) IsSpanning(g *graph.Graph) bool {
+	if g.N() != len(t.Parent) {
+		return false
+	}
+	for v := range t.Parent {
+		u := graph.NodeID(v)
+		if t.Parent[u] < 0 {
+			return false
+		}
+		steps := 0
+		for u != t.Root {
+			p := t.Parent[u]
+			if p < 0 || int(p) >= g.N() || !g.HasEdge(u, p) {
+				return false
+			}
+			u = p
+			steps++
+			if steps > g.N() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Children returns, for each node, its child list — the structure
+// convergecast protocols need.
+func (t *Tree) Children() [][]graph.NodeID {
+	ch := make([][]graph.NodeID, len(t.Parent))
+	for v := range t.Parent {
+		p := t.Parent[v]
+		if p >= 0 && graph.NodeID(v) != t.Root {
+			ch[p] = append(ch[p], graph.NodeID(v))
+		}
+	}
+	return ch
+}
+
+// Edges returns the set of tree edges.
+func (t *Tree) Edges() []graph.Edge {
+	var out []graph.Edge
+	for v := range t.Parent {
+		p := t.Parent[v]
+		if p >= 0 && graph.NodeID(v) != t.Root {
+			out = append(out, graph.NewEdge(graph.NodeID(v), p))
+		}
+	}
+	return out
+}
+
+// Packing is a (k, D_TP, eta) tree packing: k subgraphs, nominally spanning
+// trees of bounded diameter rooted at a common root, where each graph edge
+// appears in at most eta trees. A *weak* packing (Definition 7) allows up to
+// a 0.1 fraction of the subgraphs to be arbitrary.
+type Packing struct {
+	Root  graph.NodeID
+	Trees []*Tree
+}
+
+// K returns the number of trees.
+func (p *Packing) K() int { return len(p.Trees) }
+
+// Load returns the maximum number of trees any single graph edge appears in.
+func (p *Packing) Load() int {
+	load := make(map[graph.Edge]int)
+	for _, t := range p.Trees {
+		for _, e := range t.Edges() {
+			load[e]++
+		}
+	}
+	max := 0
+	for _, c := range load {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Stats summarizes packing quality against Definition 7.
+type Stats struct {
+	K         int
+	GoodTrees int // spanning, depth <= MaxDepth, correctly rooted
+	MaxDepth  int // deepest good tree
+	Load      int
+}
+
+// Validate computes packing statistics: a tree is good if it spans g, is
+// rooted at p.Root, and has depth at most maxDepth (0 = unbounded).
+func (p *Packing) Validate(g *graph.Graph, maxDepth int) Stats {
+	s := Stats{K: p.K(), Load: p.Load()}
+	for _, t := range p.Trees {
+		if t.Root != p.Root || !t.IsSpanning(g) {
+			continue
+		}
+		d := t.Depth()
+		if d < 0 || (maxDepth > 0 && d > maxDepth) {
+			continue
+		}
+		s.GoodTrees++
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+	}
+	return s
+}
+
+// IsWeak reports whether p satisfies Definition 7 for the given depth and
+// load bounds: at least 90% of trees good and load at most maxLoad.
+func (p *Packing) IsWeak(g *graph.Graph, maxDepth, maxLoad int) bool {
+	s := p.Validate(g, maxDepth)
+	return s.GoodTrees*10 >= 9*s.K && s.Load <= maxLoad
+}
+
+// CliqueStars returns the star packing of the n-clique used by Theorem 1.6:
+// tree i is the star centered at node i, re-rooted at the common root n-1.
+// It has k = n, depth 2, and load 2.
+func CliqueStars(n int) *Packing {
+	root := graph.NodeID(n - 1)
+	p := &Packing{Root: root}
+	for c := 0; c < n; c++ {
+		t := NewTree(n, root)
+		center := graph.NodeID(c)
+		if center != root {
+			t.Parent[center] = root
+		}
+		for v := 0; v < n; v++ {
+			u := graph.NodeID(v)
+			if u == root || u == center {
+				continue
+			}
+			t.Parent[u] = center
+		}
+		p.Trees = append(p.Trees, t)
+	}
+	return p
+}
+
+// FromParentMaps assembles a packing from per-tree parent arrays (the output
+// shape of the distributed expander protocol): maps[j][v] is v's parent in
+// tree j (-1 if none).
+func FromParentMaps(root graph.NodeID, maps [][]graph.NodeID) *Packing {
+	p := &Packing{Root: root}
+	for _, m := range maps {
+		t := &Tree{Root: root, Parent: make([]graph.NodeID, len(m))}
+		copy(t.Parent, m)
+		t.Parent[root] = root
+		p.Trees = append(p.Trees, t)
+	}
+	return p
+}
+
+// String renders a compact description.
+func (p *Packing) String() string {
+	return fmt.Sprintf("packing{k=%d root=%d load=%d}", p.K(), p.Root, p.Load())
+}

@@ -1,0 +1,182 @@
+package treepack
+
+import (
+	"testing"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+func TestCliqueStarsShape(t *testing.T) {
+	n := 8
+	g := graph.Clique(n)
+	p := CliqueStars(n)
+	if p.K() != n {
+		t.Fatalf("k = %d, want %d", p.K(), n)
+	}
+	s := p.Validate(g, 2)
+	if s.GoodTrees != n {
+		t.Fatalf("good trees = %d, want %d", s.GoodTrees, n)
+	}
+	if s.Load != 2 {
+		t.Fatalf("load = %d, want 2", s.Load)
+	}
+	if !p.IsWeak(g, 2, 2) {
+		t.Fatal("clique stars fail the weak-packing predicate")
+	}
+}
+
+func TestTreeDepthAndSpanning(t *testing.T) {
+	g := graph.Path(4)
+	tr := NewTree(4, 0)
+	tr.Parent[1] = 0
+	tr.Parent[2] = 1
+	tr.Parent[3] = 2
+	if !tr.IsSpanning(g) {
+		t.Fatal("path tree should span")
+	}
+	if d := tr.Depth(); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+	// Break it: parent pointer over a non-edge.
+	tr.Parent[3] = 0
+	if tr.IsSpanning(g) {
+		t.Fatal("non-edge parent accepted as spanning")
+	}
+	// Cycle detection.
+	tr2 := NewTree(3, 0)
+	tr2.Parent[1] = 2
+	tr2.Parent[2] = 1
+	if tr2.Depth() != -1 {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestChildrenConsistent(t *testing.T) {
+	tr := NewTree(5, 0)
+	tr.Parent[1] = 0
+	tr.Parent[2] = 0
+	tr.Parent[3] = 1
+	tr.Parent[4] = 1
+	ch := tr.Children()
+	if len(ch[0]) != 2 || len(ch[1]) != 2 || len(ch[3]) != 0 {
+		t.Fatalf("children lists wrong: %v", ch)
+	}
+}
+
+func TestGreedyLowDepthCirculant(t *testing.T) {
+	// Circulant(16,3) is 6-edge-connected; pack 3 trees of small depth and
+	// check the load bound of Theorem C.2 empirically (load = O(log n) per
+	// the multiplicative-weights analysis; assert a generous envelope).
+	g := graph.Circulant(16, 3)
+	p := GreedyLowDepth(g, graph.NodeID(15), 3, 8, 1)
+	if p.K() != 3 {
+		t.Fatalf("packed %d trees, want 3", p.K())
+	}
+	s := p.Validate(g, 16)
+	if s.GoodTrees != 3 {
+		t.Fatalf("good trees = %d, want 3", s.GoodTrees)
+	}
+	if s.Load > 3 {
+		t.Fatalf("load = %d, want <= 3 on a 6-connected graph", s.Load)
+	}
+}
+
+func TestGreedyLowDepthHypercube(t *testing.T) {
+	g := graph.Hypercube(4) // 16 nodes, 4-edge-connected, diameter 4
+	p := GreedyLowDepth(g, 15, 4, 8, 1)
+	s := p.Validate(g, 16)
+	if s.GoodTrees < 3 {
+		t.Fatalf("good trees = %d, want >= 3", s.GoodTrees)
+	}
+	if s.Load > 4 {
+		t.Fatalf("load = %d too high", s.Load)
+	}
+}
+
+func TestGreedyInfeasibleDepth(t *testing.T) {
+	// Depth 1 spanning tree of a path is impossible from any root on n>=3.
+	g := graph.Path(5)
+	p := GreedyLowDepth(g, 0, 2, 1, 1)
+	if p.K() != 0 {
+		t.Fatalf("packed %d trees with infeasible depth bound", p.K())
+	}
+}
+
+func TestExpanderPackingFaultFree(t *testing.T) {
+	g := graph.RandomRegularForTest(t, 30, 16, 7)
+	k := 3
+	z := 10
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 3}, ExpanderPacking(k, z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != ExpanderRounds(z, 1) {
+		t.Fatalf("rounds = %d, want %d", res.Stats.Rounds, ExpanderRounds(z, 1))
+	}
+	p := AssemblePacking(g.N(), k, res.Outputs)
+	s := p.Validate(g, z)
+	if s.GoodTrees < 2 {
+		t.Fatalf("only %d/%d trees are good spanning trees", s.GoodTrees, k)
+	}
+	if s.Load > 2 {
+		t.Fatalf("load = %d, want <= 2 (each edge has one colour)", s.Load)
+	}
+}
+
+func TestExpanderPackingUnderByzantine(t *testing.T) {
+	g := graph.RandomRegularForTest(t, 40, 20, 11)
+	k := 4
+	z := 12
+	pad := 7
+	adv := adversary.NewMobileByzantine(g, 1, 5, adversary.SelectRandom, adversary.CorruptFlip)
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 4, Adversary: adv}, ExpanderPackingPadded(k, z, pad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := AssemblePacking(g.N(), k, res.Outputs)
+	s := p.Validate(g, z)
+	// With f=1 and padding, most colours stay clean: expect >= half good.
+	if s.GoodTrees < k/2 {
+		t.Fatalf("only %d/%d trees survived a 1-mobile adversary", s.GoodTrees, k)
+	}
+}
+
+func TestFromParentMaps(t *testing.T) {
+	maps := [][]graph.NodeID{{1, 1, 1}, {-1, -1, -1}}
+	p := FromParentMaps(1, maps)
+	if p.K() != 2 {
+		t.Fatalf("k = %d", p.K())
+	}
+	if p.Trees[0].Parent[1] != 1 {
+		t.Fatal("root parent not normalized")
+	}
+}
+
+func TestPackingString(t *testing.T) {
+	p := CliqueStars(4)
+	if p.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// TestExpanderPackingBarbellNegativeControl: on a low-conductance barbell,
+// the random-colour BFS packing must fail to produce good trees within the
+// O(log n / phi) depth budget sized for expanders — the conductance
+// dependency of Lemma 3.13 is real.
+func TestExpanderPackingBarbellNegativeControl(t *testing.T) {
+	g := graph.Barbell(10) // phi tiny: one bridge between two K10s
+	k, z := 4, 6
+	res, err := congest.Run(congest.Config{Graph: g, Seed: 9}, ExpanderPacking(k, z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := AssemblePacking(g.N(), k, res.Outputs)
+	s := p.Validate(g, z)
+	// Each colour class holds the single bridge edge with probability 1/k,
+	// and classes without it cannot span: expect at most 1-2 good trees.
+	if s.GoodTrees > k/2 {
+		t.Fatalf("barbell yielded %d/%d good trees; expander analysis should not transfer", s.GoodTrees, k)
+	}
+}

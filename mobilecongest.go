@@ -1,0 +1,92 @@
+// Package mobilecongest is a Go reproduction of "Distributed CONGEST
+// Algorithms against Mobile Adversaries" (Fischer and Parter, PODC 2023,
+// arXiv:2305.14300): a synchronous CONGEST simulator with mobile
+// eavesdropper and byzantine adversaries, plus every compiler the paper
+// constructs.
+//
+// The five headline results and where they live:
+//
+//   - Theorem 1.2 — static-to-mobile security compiler:
+//     secure.StaticToMobile / secure.MobileParams.
+//   - Theorem 1.3 — congestion-sensitive compiler with perfect mobile
+//     security: secure.CompileCongestionSensitive.
+//   - Theorem 1.5/1.6/1.7 — f-mobile byzantine compilers over tree packings
+//     (general graphs, the congested clique, expanders):
+//     resilient.Compile with resilient.CliqueShared /
+//     resilient.GeneralShared / resilient.ExpanderShared.
+//   - Theorem 4.1 — resilience to bounded round-error rate via
+//     rewind-if-error: rewind.Compile.
+//   - Theorems 1.4/5.5 — compilation from fault-tolerant cycle covers:
+//     ccpath.Compile over cyclecover.Build.
+//
+// This root package re-exports the simulator's entry points and provides
+// convenience constructors so the examples and downstream users need a
+// single import for common workflows; the full API lives in the internal
+// packages listed above (importable inside this module).
+package mobilecongest
+
+import (
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+	"mobilecongest/internal/resilient"
+)
+
+// Re-exported core types: the simulator surface downstream code programs
+// against.
+type (
+	// Graph is the communication topology.
+	Graph = graph.Graph
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Msg is a round message.
+	Msg = congest.Msg
+	// Protocol is per-node protocol code.
+	Protocol = congest.Protocol
+	// Runtime is the interface protocol code sees.
+	Runtime = congest.Runtime
+	// RunConfig parameterizes a simulation run.
+	RunConfig = congest.Config
+	// Result is a run outcome.
+	Result = congest.Result
+	// Adversary intercepts round traffic.
+	Adversary = congest.Adversary
+)
+
+// Run executes a protocol on a graph; see congest.Run.
+func Run(cfg RunConfig, proto Protocol) (*Result, error) { return congest.Run(cfg, proto) }
+
+// NewClique returns the complete graph K_n.
+func NewClique(n int) *Graph { return graph.Clique(n) }
+
+// NewCirculant returns the 2k-edge-connected circulant graph C_n(1..k).
+func NewCirculant(n, k int) *Graph { return graph.Circulant(n, k) }
+
+// NewMobileEavesdropper listens on f fresh edges per round.
+func NewMobileEavesdropper(g *Graph, f int, seed int64) *adversary.Eavesdropper {
+	return adversary.NewMobileEavesdropper(g, f, seed)
+}
+
+// NewMobileByzantine corrupts f fresh random edges per round with random
+// bit flips — the default attack model of the experiments.
+func NewMobileByzantine(g *Graph, f int, seed int64) *adversary.Byzantine {
+	return adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptFlip)
+}
+
+// HardenClique compiles a congested-clique protocol against an f-mobile
+// byzantine adversary (Theorem 1.6). Pass the returned shared artifact in
+// RunConfig.Shared.
+func HardenClique(payload Protocol, n, f int) (Protocol, *resilient.Shared) {
+	sh := resilient.CliqueShared(n)
+	return resilient.Compile(payload, resilient.Config{Mode: resilient.SparseMode, F: f}), sh
+}
+
+// HardenGeneral compiles a protocol for a (k, D_TP)-connected graph against
+// an f-mobile byzantine adversary using a trusted greedy tree-packing
+// preprocessing (Corollary 3.9).
+func HardenGeneral(payload Protocol, g *Graph, f, trees, depthBound int) (Protocol, *resilient.Shared) {
+	sh := resilient.GeneralShared(g, trees, depthBound)
+	return resilient.Compile(payload, resilient.Config{Mode: resilient.SparseMode, F: f}), sh
+}

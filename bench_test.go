@@ -3,13 +3,60 @@
 // experiment (all its simulation runs) and fails the benchmark if the
 // measured shape stops matching the paper's claim, so
 // `go test -bench=. -benchmem` doubles as the reproduction gate.
-package mobilecongest
+// The benchmarks live in the external test package: internal/harness imports
+// the root package for the Scenario API, so an in-package test file would
+// create an import cycle.
+package mobilecongest_test
 
 import (
+	"fmt"
 	"testing"
 
+	mc "mobilecongest"
+
+	"mobilecongest/internal/algorithms"
 	"mobilecongest/internal/harness"
 )
+
+// BenchmarkRun races the execution engines head-to-head on raw simulation
+// throughput: FloodMax (every node talks to every neighbour every round) over
+// clique and circulant topologies, fault-free and under a mobile byzantine
+// flip adversary. This isolates engine overhead — channel handoffs and
+// scheduler wakeups versus coroutine steps — from experiment logic.
+func BenchmarkRun(b *testing.B) {
+	cases := []struct {
+		name   string
+		g      *mc.Graph
+		rounds int
+		adv    string
+	}{
+		{"clique32", mc.NewClique(32), 8, "none"},
+		{"clique64", mc.NewClique(64), 8, "none"},
+		{"circulant128", mc.NewCirculant(128, 2), 32, "none"},
+		{"circulant256", mc.NewCirculant(256, 4), 16, "none"},
+		{"clique32-flip", mc.NewClique(32), 8, "flip"},
+		{"circulant128-flip", mc.NewCirculant(128, 2), 32, "flip"},
+	}
+	for _, engine := range mc.EngineNames() {
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/%s", engine, c.name), func(b *testing.B) {
+				sc := mc.NewScenario(
+					mc.WithGraph(c.g),
+					mc.WithProtocol(algorithms.FloodMax(c.rounds)),
+					mc.WithAdversaryName(c.adv, 2),
+					mc.WithSeed(1),
+					mc.WithEngineName(engine),
+				)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sc.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()

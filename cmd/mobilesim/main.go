@@ -1,21 +1,34 @@
-// Command mobilesim runs the reproduction experiment suite: one experiment
+// Command mobilesim runs the reproduction experiment suite — one experiment
 // per theorem of "Distributed CONGEST Algorithms against Mobile Adversaries"
-// (Fischer-Parter, PODC 2023). Each experiment prints a table whose shape is
+// (Fischer-Parter, PODC 2023) — and ad-hoc parameter sweeps over the
+// simulator's scenario grid.
+//
+// Experiment mode (default): each experiment prints a table whose shape is
 // checked against the theorem's claim.
 //
-// Usage:
-//
 //	mobilesim                 # run every experiment
-//	mobilesim -list           # list experiment IDs
+//	mobilesim -list           # list experiments, engines, topologies, adversaries
 //	mobilesim -run T1,F3      # run a subset
 //	mobilesim -seed 7         # change the master seed
+//	mobilesim -engine goroutine  # pick the execution engine
+//
+// Sweep mode: -sweep expands a parameter grid (cross product of the axis
+// flags), fans the cells out across GOMAXPROCS workers with deterministic
+// per-cell seeds, and emits one JSON record per line on stdout.
+//
+//	mobilesim -sweep -topo clique,circulant -n 8,16,32 -adv none,flip -f 2
+//	mobilesim -sweep -n 64 -engine step,goroutine -reps 3 | jq .rounds
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+
+	mc "mobilecongest"
 
 	"mobilecongest/internal/harness"
 )
@@ -25,18 +38,61 @@ func main() {
 }
 
 func run() int {
-	list := flag.Bool("list", false, "list experiments and exit")
+	list := flag.Bool("list", false, "list experiments and registries, then exit")
 	only := flag.String("run", "", "comma-separated experiment IDs (default: all)")
-	seed := flag.Int64("seed", 42, "master random seed")
+	seed := flag.Int64("seed", 42, "master random seed (sweep: base seed)")
+	engine := flag.String("engine", mc.EngineStep.Name(), "execution engine (sweep: comma-separated list)")
+	sweep := flag.Bool("sweep", false, "run a parameter sweep instead of the experiment suite")
+	topo := flag.String("topo", "clique", "sweep: comma-separated topology names")
+	ns := flag.String("n", "16", "sweep: comma-separated node counts")
+	ks := flag.String("k", "0", "sweep: comma-separated topology parameters (0 = family default)")
+	adv := flag.String("adv", "none", "sweep: comma-separated adversary names")
+	fs := flag.String("f", "1", "sweep: comma-separated adversary strengths")
+	reps := flag.Int("reps", 1, "sweep: repetitions per cell with distinct seeds")
+	maxRounds := flag.Int("maxrounds", 0, "sweep: per-run round limit (0 = engine default)")
 	flag.Parse()
+
+	// Reject cross-mode flag mixes instead of silently ignoring them: -run
+	// belongs to experiment mode, the axis flags to sweep mode. -list
+	// overrides both modes, so any combination with it just lists.
+	if !*list {
+		sweepOnly := map[string]bool{"topo": true, "n": true, "k": true, "adv": true, "f": true, "reps": true, "maxrounds": true}
+		conflict := ""
+		flag.Visit(func(fl *flag.Flag) {
+			switch {
+			case *sweep && fl.Name == "run":
+				conflict = "-run selects experiments and has no effect with -sweep"
+			case !*sweep && sweepOnly[fl.Name]:
+				conflict = fmt.Sprintf("-%s is a sweep axis flag; add -sweep (or drop it)", fl.Name)
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintln(os.Stderr, conflict)
+			return 2
+		}
+	}
 
 	if *list {
 		for _, e := range harness.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("\nengines:     %s\n", strings.Join(mc.EngineNames(), ", "))
+		fmt.Printf("topologies:  %s\n", strings.Join(mc.Topologies(), ", "))
+		fmt.Printf("adversaries: %s\n", strings.Join(mc.Adversaries(), ", "))
 		return 0
 	}
 
+	if *sweep {
+		return runSweep(sweepFlags{
+			topos: *topo, ns: *ns, ks: *ks, advs: *adv, fs: *fs,
+			engines: *engine, reps: *reps, baseSeed: *seed, maxRounds: *maxRounds,
+		})
+	}
+
+	if err := harness.UseEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	var todo []harness.Experiment
 	if *only == "" {
 		todo = harness.All()
@@ -71,4 +127,76 @@ func run() int {
 	}
 	fmt.Printf("all %d experiments match their claims\n", len(todo))
 	return 0
+}
+
+type sweepFlags struct {
+	topos, ns, ks, advs, fs, engines string
+	reps                             int
+	baseSeed                         int64
+	maxRounds                        int
+}
+
+func runSweep(sf sweepFlags) int {
+	nsList, err1 := splitInts(sf.ns)
+	ksList, err2 := splitInts(sf.ks)
+	fsList, err3 := splitInts(sf.fs)
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	records, err := mc.Sweep(mc.Grid{
+		Topologies:  splitNames(sf.topos),
+		Ns:          nsList,
+		Ks:          ksList,
+		Adversaries: splitNames(sf.advs),
+		Fs:          fsList,
+		Engines:     splitNames(sf.engines),
+		Reps:        sf.reps,
+		BaseSeed:    sf.baseSeed,
+		MaxRounds:   sf.maxRounds,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	enc := json.NewEncoder(os.Stdout)
+	failed := 0
+	for _, r := range records {
+		if r.Error != "" {
+			failed++
+		}
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d sweep cells failed\n", failed, len(records))
+		return 1
+	}
+	return 0
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitNames(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -1,0 +1,171 @@
+package mobilecongest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/algorithms"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// TestEngineEquivalenceProperty is the cross-engine determinism contract: for
+// a randomized corpus of graphs, protocols, adversaries, and seeds, the
+// goroutine and step engines must yield byte-identical outputs, equal Stats,
+// and (for eavesdroppers) byte-identical adversary views. Any scheduling
+// leak in either engine — a reordered RNG draw, a miscounted round, an
+// inbox-dependent branch — shows up here.
+func TestEngineEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xE9))
+	const trials = 120
+
+	graphFams := []func(r *rand.Rand) (string, *graph.Graph){
+		func(r *rand.Rand) (string, *graph.Graph) {
+			n := 4 + r.Intn(12)
+			return fmt.Sprintf("clique(%d)", n), graph.Clique(n)
+		},
+		func(r *rand.Rand) (string, *graph.Graph) {
+			n := 4 + r.Intn(28)
+			return fmt.Sprintf("cycle(%d)", n), graph.Cycle(n)
+		},
+		func(r *rand.Rand) (string, *graph.Graph) {
+			n, k := 8+r.Intn(16), 2+r.Intn(2)
+			return fmt.Sprintf("circulant(%d,%d)", n, k), graph.Circulant(n, k)
+		},
+		func(r *rand.Rand) (string, *graph.Graph) {
+			rows, cols := 2+r.Intn(3), 2+r.Intn(4)
+			return fmt.Sprintf("grid(%d,%d)", rows, cols), graph.Grid(rows, cols)
+		},
+		func(r *rand.Rand) (string, *graph.Graph) {
+			d := 2 + r.Intn(3)
+			return fmt.Sprintf("hypercube(%d)", d), graph.Hypercube(d)
+		},
+		func(*rand.Rand) (string, *graph.Graph) {
+			return "petersen", graph.Petersen()
+		},
+	}
+
+	// randomLoad stresses everything at once: private randomness, variable
+	// message sizes, silent rounds, and data-dependent early termination.
+	randomLoad := func(rounds int) Protocol {
+		return func(rt congest.Runtime) {
+			acc := uint64(rt.ID())
+			for r := 0; r < rounds; r++ {
+				out := make(map[graph.NodeID]congest.Msg)
+				for _, v := range rt.Neighbors() {
+					if rt.Rand().Intn(3) == 0 {
+						continue // silent edge this round
+					}
+					m := make(congest.Msg, 1+rt.Rand().Intn(24))
+					rt.Rand().Read(m)
+					out[v] = m
+				}
+				in := rt.Exchange(out)
+				for _, m := range in {
+					acc ^= congest.U64(m) + uint64(len(m))
+				}
+				if acc%13 == 0 {
+					break // early, data-dependent termination
+				}
+			}
+			rt.SetOutput(acc)
+		}
+	}
+
+	protoFams := []func(g *graph.Graph, r *rand.Rand) (string, Protocol){
+		func(g *graph.Graph, r *rand.Rand) (string, Protocol) {
+			rounds := g.Diameter() + 1 + r.Intn(3)
+			return fmt.Sprintf("floodmax(%d)", rounds), algorithms.FloodMax(rounds)
+		},
+		func(g *graph.Graph, r *rand.Rand) (string, Protocol) {
+			rounds := g.Diameter() + 1
+			return fmt.Sprintf("broadcast(%d)", rounds), algorithms.Broadcast(0, r.Uint64()%1000, rounds)
+		},
+		func(g *graph.Graph, r *rand.Rand) (string, Protocol) {
+			rounds := 3 + r.Intn(6)
+			return fmt.Sprintf("randomload(%d)", rounds), randomLoad(rounds)
+		},
+	}
+
+	// Each adversary family builds a FRESH instance per engine run (they are
+	// stateful) from the same parameters, so both engines face an identical
+	// opponent.
+	advFams := []func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary){
+		func(*graph.Graph, int, int64) (string, func() congest.Adversary) {
+			return "none", func() congest.Adversary { return nil }
+		},
+		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
+			return "eavesdrop", func() congest.Adversary { return adversary.NewMobileEavesdropper(g, f, seed) }
+		},
+		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
+			return "flip", func() congest.Adversary {
+				return adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptFlip)
+			}
+		},
+		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
+			return "drop", func() congest.Adversary {
+				return adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptDrop)
+			}
+		},
+		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
+			return "swap-busiest", func() congest.Adversary {
+				return adversary.NewMobileByzantine(g, f, seed, adversary.SelectBusiest, adversary.CorruptSwap)
+			}
+		},
+		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
+			return "inject-static", func() congest.Adversary {
+				return adversary.NewStaticByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptInject)
+			}
+		},
+		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
+			return "error-rate", func() congest.Adversary {
+				return adversary.NewRoundErrorRate(g, 3*f, []int{0, f, 1}, seed, adversary.SelectRandom, adversary.CorruptRandomize)
+			}
+		},
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		gname, g := graphFams[rng.Intn(len(graphFams))](rng)
+		pname, proto := protoFams[rng.Intn(len(protoFams))](g, rng)
+		f := 1 + rng.Intn(3)
+		advSeed := rng.Int63()
+		aname, mkAdv := advFams[rng.Intn(len(advFams))](g, f, advSeed)
+		seed := rng.Int63()
+		label := fmt.Sprintf("trial %d: %s/%s/%s f=%d seed=%d", trial, gname, pname, aname, f, seed)
+
+		run := func(e Engine) (*Result, congest.Adversary, error) {
+			adv := mkAdv()
+			res, err := e.Run(congest.Config{Graph: g, Seed: seed, Adversary: adv, MaxRounds: 1 << 16}, proto)
+			return res, adv, err
+		}
+		want, wantAdv, err1 := run(EngineGoroutine)
+		got, gotAdv, err2 := run(EngineStep)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: errors differ: goroutine=%v step=%v", label, err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("%s: error text differs: %q vs %q", label, err1, err2)
+			}
+			continue
+		}
+		if want.Stats != got.Stats {
+			t.Fatalf("%s: stats differ:\n goroutine %+v\n step      %+v", label, want.Stats, got.Stats)
+		}
+		// Byte-identical outputs: compare the canonical rendering.
+		wout := fmt.Sprintf("%#v", want.Outputs)
+		gout := fmt.Sprintf("%#v", got.Outputs)
+		if wout != gout {
+			t.Fatalf("%s: outputs differ:\n goroutine %s\n step      %s", label, wout, gout)
+		}
+		// Eavesdroppers must have seen byte-identical transcripts.
+		if we, ok := wantAdv.(*adversary.Eavesdropper); ok {
+			ge := gotAdv.(*adversary.Eavesdropper)
+			if string(we.ViewBytes()) != string(ge.ViewBytes()) {
+				t.Fatalf("%s: eavesdropper views differ across engines", label)
+			}
+		}
+	}
+}

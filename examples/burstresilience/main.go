@@ -10,9 +10,10 @@ import (
 	"fmt"
 	"os"
 
+	mc "mobilecongest"
+
 	"mobilecongest/internal/adversary"
 	"mobilecongest/internal/algorithms"
-	"mobilecongest/internal/congest"
 	"mobilecongest/internal/graph"
 	"mobilecongest/internal/rewind"
 )
@@ -42,9 +43,14 @@ func run() error {
 	}
 	adv := adversary.NewRoundErrorRate(g, 1300, storm, 21, adversary.SelectFixed(owned), adversary.CorruptSwap)
 
-	res, err := congest.Run(congest.Config{
-		Graph: g, Seed: 21, Shared: sh, Adversary: adv, MaxRounds: 1 << 24,
-	}, rewind.Compile(algorithms.FloodMax(r), rewind.Config{R: r, F: 1, Rep: 5}))
+	res, err := mc.NewScenario(
+		mc.WithGraph(g),
+		mc.WithSeed(21),
+		mc.WithShared(sh),
+		mc.WithAdversary(adv),
+		mc.WithMaxRounds(1<<24),
+		mc.WithProtocol(rewind.Compile(algorithms.FloodMax(r), rewind.Config{R: r, F: 1, Rep: 5})),
+	).Run()
 	if err != nil {
 		return err
 	}

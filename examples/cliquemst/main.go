@@ -9,9 +9,10 @@ import (
 	"fmt"
 	"os"
 
+	mc "mobilecongest"
+
 	"mobilecongest/internal/adversary"
 	"mobilecongest/internal/algorithms"
-	"mobilecongest/internal/congest"
 	"mobilecongest/internal/graph"
 	"mobilecongest/internal/resilient"
 )
@@ -33,7 +34,8 @@ func run() error {
 	fmt.Printf("true MST weight (centralized Kruskal): %d\n", want)
 
 	// Fault-free baseline.
-	clean, err := congest.Run(congest.Config{Graph: g, Seed: 7, Inputs: inputs}, algorithms.MSTClique())
+	base := []mc.ScenarioOption{mc.WithGraph(g), mc.WithSeed(7), mc.WithInputs(inputs)}
+	clean, err := mc.NewScenario(append(base, mc.WithProtocol(algorithms.MSTClique()))...).Run()
 	if err != nil {
 		return err
 	}
@@ -41,7 +43,8 @@ func run() error {
 
 	// Unprotected run under attack: expect garbage.
 	adv := adversary.NewMobileByzantine(g, f, 9, adversary.SelectBusiest, adversary.CorruptFlip)
-	broken, err := congest.Run(congest.Config{Graph: g, Seed: 7, Inputs: inputs, Adversary: adv}, algorithms.MSTClique())
+	broken, err := mc.NewScenario(append(base,
+		mc.WithAdversary(adv), mc.WithProtocol(algorithms.MSTClique()))...).Run()
 	if err != nil {
 		return err
 	}
@@ -56,9 +59,10 @@ func run() error {
 	// Compiled run: the Theorem 1.6 compiler over the star packing.
 	sh := resilient.CliqueShared(n)
 	adv2 := adversary.NewMobileByzantine(g, f, 9, adversary.SelectBusiest, adversary.CorruptFlip)
-	res, err := congest.Run(congest.Config{
-		Graph: g, Seed: 7, Inputs: inputs, Adversary: adv2, Shared: sh, MaxRounds: 1 << 23,
-	}, resilient.Compile(algorithms.MSTClique(), resilient.Config{Mode: resilient.SparseMode, F: f, Rep: 5}))
+	res, err := mc.NewScenario(append(base,
+		mc.WithAdversary(adv2), mc.WithShared(sh), mc.WithMaxRounds(1<<23),
+		mc.WithProtocol(resilient.Compile(algorithms.MSTClique(), resilient.Config{Mode: resilient.SparseMode, F: f, Rep: 5})),
+	)...).Run()
 	if err != nil {
 		return err
 	}

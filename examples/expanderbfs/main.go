@@ -8,9 +8,10 @@ import (
 	"fmt"
 	"os"
 
+	mc "mobilecongest"
+
 	"mobilecongest/internal/adversary"
 	"mobilecongest/internal/algorithms"
-	"mobilecongest/internal/congest"
 	"mobilecongest/internal/resilient"
 )
 
@@ -45,9 +46,14 @@ func run() error {
 	// Phase 2: compiled BFS under a fresh mobile adversary.
 	root := int32(0)
 	adv2 := adversary.NewMobileByzantine(g, f, 5, adversary.SelectRandom, adversary.CorruptRandomize)
-	res, err := congest.Run(congest.Config{
-		Graph: g, Seed: 5, Shared: sh, Adversary: adv2, MaxRounds: 1 << 23,
-	}, resilient.Compile(algorithms.BFS(0, g.Eccentricity(0)), resilient.Config{Mode: resilient.SparseMode, F: f, Rep: 5}))
+	res, err := mc.NewScenario(
+		mc.WithGraph(g),
+		mc.WithSeed(5),
+		mc.WithShared(sh),
+		mc.WithAdversary(adv2),
+		mc.WithMaxRounds(1<<23),
+		mc.WithProtocol(resilient.Compile(algorithms.BFS(0, g.Eccentricity(0)), resilient.Config{Mode: resilient.SparseMode, F: f, Rep: 5})),
+	).Run()
 	if err != nil {
 		return err
 	}

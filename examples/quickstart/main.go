@@ -31,9 +31,12 @@ func run() error {
 	payload := algorithms.Broadcast(0, 0xC0FFEE, r)
 	t := 2 * 2 * r // t >= 2fr keeps f' = f = 2
 	eve := mobilecongest.NewMobileEavesdropper(g, 2, 1)
-	res, err := mobilecongest.Run(mobilecongest.RunConfig{
-		Graph: g, Seed: 1, Adversary: eve,
-	}, secure.StaticToMobile(payload, r, t))
+	res, err := mobilecongest.NewScenario(
+		mobilecongest.WithGraph(g),
+		mobilecongest.WithSeed(1),
+		mobilecongest.WithAdversary(eve),
+		mobilecongest.WithProtocol(secure.StaticToMobile(payload, r, t)),
+	).Run()
 	if err != nil {
 		return err
 	}
@@ -41,12 +44,19 @@ func run() error {
 		res.Stats.Rounds, len(eve.View()), res.Outputs[5])
 
 	// 2. Resilience: the same broadcast survives a byzantine adversary
-	//    corrupting f=2 edges every round (Theorem 1.6).
+	//    corrupting f=2 edges every round (Theorem 1.6). The adversary comes
+	//    from the name registry this time, and the run uses the fast
+	//    single-goroutine step engine explicitly.
 	hardened, shared := mobilecongest.HardenClique(algorithms.Broadcast(0, 0xC0FFEE, r), n, 2)
-	adv := mobilecongest.NewMobileByzantine(g, 2, 2)
-	res, err = mobilecongest.Run(mobilecongest.RunConfig{
-		Graph: g, Seed: 2, Adversary: adv, Shared: shared, MaxRounds: 1 << 22,
-	}, hardened)
+	res, err = mobilecongest.NewScenario(
+		mobilecongest.WithGraph(g),
+		mobilecongest.WithSeed(2),
+		mobilecongest.WithAdversaryName("flip", 2),
+		mobilecongest.WithShared(shared),
+		mobilecongest.WithMaxRounds(1<<22),
+		mobilecongest.WithEngine(mobilecongest.EngineStep),
+		mobilecongest.WithProtocol(hardened),
+	).Run()
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"os"
 
+	mc "mobilecongest"
+
 	"mobilecongest/internal/adversary"
 	"mobilecongest/internal/congest"
 	"mobilecongest/internal/graph"
@@ -71,9 +73,14 @@ func run() error {
 	fmt.Printf("readings on %d nodes; true max %d\n", g.N(), want)
 
 	eve := adversary.NewMobileEavesdropper(g, 2, 17)
-	res, err := congest.Run(congest.Config{
-		Graph: g, Seed: 17, Inputs: inputs, Shared: sh, Adversary: eve,
-	}, secure.CompileCongestionSensitive(maxFlood(r), secure.CSConfig{R: r, F: 2, Cong: r}))
+	res, err := mc.NewScenario(
+		mc.WithGraph(g),
+		mc.WithSeed(17),
+		mc.WithInputs(inputs),
+		mc.WithShared(sh),
+		mc.WithAdversary(eve),
+		mc.WithProtocol(secure.CompileCongestionSensitive(maxFlood(r), secure.CSConfig{R: r, F: 2, Cong: r})),
+	).Run()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module mobilecongest
+
+go 1.24

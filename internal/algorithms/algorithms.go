@@ -34,7 +34,10 @@ func FloodMax(rounds int) congest.Protocol {
 // Broadcast floods a value held by root to all nodes within the given number
 // of rounds (>= diameter for full coverage). Nodes without the value yet
 // send an explicit zero placeholder so traffic is input-independent in
-// volume; value 0 is reserved as "none".
+// volume; value 0 is reserved as "none". A node hearing several distinct
+// nonzero values in one round (possible only under corruption) adopts the
+// smallest, so the protocol stays deterministic regardless of inbox
+// iteration order.
 func Broadcast(root graph.NodeID, value uint64, rounds int) congest.Protocol {
 	return func(rt congest.Runtime) {
 		var have uint64
@@ -47,9 +50,11 @@ func Broadcast(root graph.NodeID, value uint64, rounds int) congest.Protocol {
 				out[v] = congest.U64Msg(have)
 			}
 			in := rt.Exchange(out)
-			for _, m := range in {
-				if v := congest.U64(m); v != 0 && have == 0 {
-					have = v
+			if have == 0 {
+				for _, m := range in {
+					if v := congest.U64(m); v != 0 && (have == 0 || v < have) {
+						have = v
+					}
 				}
 			}
 		}
@@ -59,7 +64,9 @@ func Broadcast(root graph.NodeID, value uint64, rounds int) congest.Protocol {
 
 // BroadcastInput is Broadcast but the value comes from the root's Input()
 // (first 8 bytes) — used by the secure compilers whose experiments vary the
-// input to test indistinguishability.
+// input to test indistinguishability. Like Broadcast, it folds each round's
+// inbox order-insensitively (smallest nonzero wins) so corrupted runs stay
+// deterministic.
 func BroadcastInput(root graph.NodeID, rounds int) congest.Protocol {
 	return func(rt congest.Runtime) {
 		var have uint64
@@ -72,9 +79,11 @@ func BroadcastInput(root graph.NodeID, rounds int) congest.Protocol {
 				out[v] = congest.U64Msg(have)
 			}
 			in := rt.Exchange(out)
-			for _, m := range in {
-				if v := congest.U64(m); v != 0 && have == 0 {
-					have = v
+			if have == 0 {
+				for _, m := range in {
+					if v := congest.U64(m); v != 0 && (have == 0 || v < have) {
+						have = v
+					}
 				}
 			}
 		}

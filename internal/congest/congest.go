@@ -1,9 +1,14 @@
 // Package congest implements the synchronous CONGEST simulator in the
 // adversarial communication model of the paper (Section 1.4). Each node runs
-// its protocol as straight-line Go code in its own goroutine and blocks in
-// Exchange, which acts as the end-of-round barrier; a coordinator gathers the
-// round's directed traffic, lets the adversary intercept it within an
-// engine-enforced edge budget, and releases the barrier.
+// its protocol as straight-line Go code and blocks in Exchange, which acts as
+// the end-of-round barrier; a coordinator gathers the round's directed
+// traffic, lets the adversary intercept it within an engine-enforced edge
+// budget, and releases the barrier.
+//
+// Execution is pluggable via the Engine interface: GoroutineEngine runs one
+// goroutine per node with channel barriers, StepEngine resumes nodes as
+// coroutine step functions on a single scheduler goroutine. Both are
+// deterministic given Config.Seed and produce identical Results.
 //
 // The model is KT1: every node knows n, its own ID, and the IDs of its
 // neighbours. Nodes hold private randomness the adversary cannot see.
@@ -11,7 +16,6 @@ package congest
 
 import (
 	"errors"
-	"fmt"
 	"math/rand"
 	"sort"
 
@@ -168,237 +172,10 @@ var ErrBudgetExceeded = errors.New("congest: adversary exceeded its edge budget"
 
 const defaultMaxRounds = 1 << 20
 
-// abortSignal unwinds node goroutines when the engine aborts a run.
-type abortSignal struct{}
-
-type nodeState struct {
-	id        graph.NodeID
-	neighbors []graph.NodeID
-	rng       *rand.Rand
-	input     []byte
-	output    any
-	round     int
-	n         int
-	shared    any
-
-	outCh  chan map[graph.NodeID]Msg
-	inCh   chan map[graph.NodeID]Msg
-	doneCh chan struct{}
-	abort  chan struct{}
-}
-
-var _ Runtime = (*nodeState)(nil)
-
-func (s *nodeState) ID() graph.NodeID          { return s.id }
-func (s *nodeState) N() int                    { return s.n }
-func (s *nodeState) Neighbors() []graph.NodeID { return s.neighbors }
-func (s *nodeState) Round() int                { return s.round }
-func (s *nodeState) Rand() *rand.Rand          { return s.rng }
-func (s *nodeState) Input() []byte             { return s.input }
-func (s *nodeState) SetOutput(v any)           { s.output = v }
-func (s *nodeState) Shared() any               { return s.shared }
-
-func (s *nodeState) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
-	select {
-	case s.outCh <- out:
-	case <-s.abort:
-		panic(abortSignal{})
-	}
-	select {
-	case in := <-s.inCh:
-		s.round++
-		return in
-	case <-s.abort:
-		panic(abortSignal{})
-	}
-}
-
-// Run executes proto on every node of cfg.Graph and returns outputs and
-// communication statistics.
+// Run executes proto on every node of cfg.Graph with the default
+// (goroutine-per-node) engine and returns outputs and communication
+// statistics. New code that wants to pick the execution substrate should use
+// an Engine directly (or the root package's Scenario API).
 func Run(cfg Config, proto Protocol) (*Result, error) {
-	g := cfg.Graph
-	if g == nil || g.N() == 0 {
-		return nil, errors.New("congest: nil or empty graph")
-	}
-	if cfg.Inputs != nil && len(cfg.Inputs) != g.N() {
-		return nil, fmt.Errorf("congest: %d inputs for %d nodes", len(cfg.Inputs), g.N())
-	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = defaultMaxRounds
-	}
-
-	seeder := rand.New(rand.NewSource(cfg.Seed))
-	abort := make(chan struct{})
-	nodes := make([]*nodeState, g.N())
-	for i := range nodes {
-		var input []byte
-		if cfg.Inputs != nil {
-			input = cfg.Inputs[i]
-		}
-		nodes[i] = &nodeState{
-			id:        graph.NodeID(i),
-			neighbors: g.Neighbors(graph.NodeID(i)),
-			rng:       rand.New(rand.NewSource(seeder.Int63())),
-			input:     input,
-			n:         g.N(),
-			shared:    cfg.Shared,
-			outCh:     make(chan map[graph.NodeID]Msg),
-			inCh:      make(chan map[graph.NodeID]Msg),
-			doneCh:    make(chan struct{}),
-			abort:     abort,
-		}
-	}
-	for _, s := range nodes {
-		go func(s *nodeState) {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(abortSignal); !ok {
-						panic(r)
-					}
-				}
-				close(s.doneCh)
-			}()
-			proto(s)
-		}(s)
-	}
-
-	var stats Stats
-	edgeCong := make(map[graph.Edge]int)
-	active := make([]bool, g.N())
-	nActive := g.N()
-	for i := range active {
-		active[i] = true
-	}
-
-	abortAll := func() {
-		close(abort)
-		for _, s := range nodes {
-			<-s.doneCh
-		}
-	}
-
-	for nActive > 0 {
-		if stats.Rounds >= maxRounds {
-			abortAll()
-			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
-		}
-		// Collect the round's outboxes; a node either exchanges or
-		// terminates this round.
-		traffic := make(Traffic)
-		for i, s := range nodes {
-			if !active[i] {
-				continue
-			}
-			select {
-			case out := <-s.outCh:
-				for to, m := range out {
-					if m == nil {
-						continue
-					}
-					if !g.HasEdge(s.id, to) {
-						abortAll()
-						return nil, fmt.Errorf("congest: node %d sent to non-neighbor %d", s.id, to)
-					}
-					traffic[graph.DirEdge{From: s.id, To: to}] = m
-				}
-			case <-s.doneCh:
-				active[i] = false
-				nActive--
-			}
-		}
-		if nActive == 0 {
-			break
-		}
-
-		delivered := traffic
-		if cfg.Adversary != nil {
-			original := traffic.Clone()
-			delivered = cfg.Adversary.Intercept(stats.Rounds, traffic)
-			touched := touchedEdges(original, delivered)
-			stats.CorruptedEdgeRounds += len(touched)
-			if b, ok := cfg.Adversary.(PerRoundBudget); ok && len(touched) > b.PerRoundEdges() {
-				abortAll()
-				return nil, fmt.Errorf("%w: %d edges touched in round %d, budget %d",
-					ErrBudgetExceeded, len(touched), stats.Rounds, b.PerRoundEdges())
-			}
-			if b, ok := cfg.Adversary.(TotalBudget); ok && stats.CorruptedEdgeRounds > b.TotalEdgeRounds() {
-				abortAll()
-				return nil, fmt.Errorf("%w: %d total edge-rounds, budget %d",
-					ErrBudgetExceeded, stats.CorruptedEdgeRounds, b.TotalEdgeRounds())
-			}
-		}
-
-		// Deliver inboxes.
-		inboxes := make([]map[graph.NodeID]Msg, g.N())
-		for de, m := range delivered {
-			if !g.HasEdge(de.From, de.To) {
-				abortAll()
-				return nil, fmt.Errorf("congest: adversary injected on non-edge (%d,%d)", de.From, de.To)
-			}
-			stats.Messages++
-			stats.Bytes += len(m)
-			if len(m) > stats.MaxMsgBytes {
-				stats.MaxMsgBytes = len(m)
-			}
-			edgeCong[de.Undirected()]++
-			if inboxes[de.To] == nil {
-				inboxes[de.To] = make(map[graph.NodeID]Msg)
-			}
-			inboxes[de.To][de.From] = m
-		}
-		for i, s := range nodes {
-			if !active[i] {
-				continue
-			}
-			in := inboxes[i]
-			if in == nil {
-				in = map[graph.NodeID]Msg{}
-			}
-			s.inCh <- in
-		}
-		stats.Rounds++
-	}
-
-	for _, c := range edgeCong {
-		if c > stats.MaxEdgeCongestion {
-			stats.MaxEdgeCongestion = c
-		}
-	}
-	outputs := make([]any, g.N())
-	for i, s := range nodes {
-		outputs[i] = s.output
-	}
-	return &Result{Stats: stats, Outputs: outputs}, nil
-}
-
-// touchedEdges returns the undirected edges whose traffic differs between
-// the original and delivered maps (modified, dropped, or injected).
-func touchedEdges(original, delivered Traffic) map[graph.Edge]bool {
-	touched := make(map[graph.Edge]bool)
-	for de, m := range original {
-		d, ok := delivered[de]
-		if !ok || !msgEqual(m, d) {
-			touched[de.Undirected()] = true
-		}
-	}
-	for de, d := range delivered {
-		o, ok := original[de]
-		if !ok || !msgEqual(o, d) {
-			touched[de.Undirected()] = true
-		}
-	}
-	return touched
-}
-
-func msgEqual(a, b Msg) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	return GoroutineEngine{}.Run(cfg, proto)
 }

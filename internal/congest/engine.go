@@ -1,0 +1,273 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"mobilecongest/internal/graph"
+)
+
+// Engine executes a protocol on every node of a configured network. The two
+// implementations trade scheduling strategies while sharing all simulation
+// semantics (round structure, adversary budget accounting, statistics):
+//
+//   - GoroutineEngine runs each node in its own goroutine with channel
+//     barriers — the original engine, and the one that tolerates protocols
+//     doing their own blocking.
+//   - StepEngine resumes each node as a coroutine step function on a single
+//     scheduler goroutine — no channel handoffs, much less scheduler churn,
+//     and measurably faster on simulation-heavy workloads.
+//
+// Both engines are deterministic given Config.Seed and MUST produce identical
+// Results for identical Configs; the cross-engine equivalence tests enforce
+// this.
+type Engine interface {
+	// Name is the registry key ("goroutine", "step").
+	Name() string
+	// Run executes proto on every node of cfg.Graph.
+	Run(cfg Config, proto Protocol) (*Result, error)
+}
+
+// engines is the name-keyed engine registry; RegisterEngine extends it.
+var (
+	enginesMu sync.RWMutex
+	engines   = map[string]Engine{
+		GoroutineEngine{}.Name(): GoroutineEngine{},
+		StepEngine{}.Name():      StepEngine{},
+	}
+)
+
+// RegisterEngine adds (or replaces) an engine under its Name, making it
+// resolvable by EngineByName — and therefore usable from the root package's
+// WithEngineName, sweeps, and the CLI, like the topology and adversary
+// registries.
+func RegisterEngine(e Engine) {
+	enginesMu.Lock()
+	defer enginesMu.Unlock()
+	engines[e.Name()] = e
+}
+
+// EngineByName returns the registered engine with the given name. The empty
+// name is an error rather than a silent default: callers that want a default
+// engine pick one explicitly (congest.Run uses GoroutineEngine, the root
+// Scenario API defaults to StepEngine).
+func EngineByName(name string) (Engine, error) {
+	enginesMu.RLock()
+	e, ok := engines[name]
+	enginesMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("congest: unknown engine %q (have %v)", name, EngineNames())
+	}
+	return e, nil
+}
+
+// EngineNames lists the registered engine names in sorted order.
+func EngineNames() []string {
+	enginesMu.RLock()
+	defer enginesMu.RUnlock()
+	names := make([]string, 0, len(engines))
+	for n := range engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// nodeCore is the engine-independent per-node state backing Runtime. Engines
+// embed it and supply only Exchange.
+type nodeCore struct {
+	id        graph.NodeID
+	neighbors []graph.NodeID
+	rng       *rand.Rand
+	input     []byte
+	output    any
+	round     int
+	n         int
+	shared    any
+}
+
+func (s *nodeCore) ID() graph.NodeID          { return s.id }
+func (s *nodeCore) N() int                    { return s.n }
+func (s *nodeCore) Neighbors() []graph.NodeID { return s.neighbors }
+func (s *nodeCore) Round() int                { return s.round }
+func (s *nodeCore) Rand() *rand.Rand          { return s.rng }
+func (s *nodeCore) Input() []byte             { return s.input }
+func (s *nodeCore) SetOutput(v any)           { s.output = v }
+func (s *nodeCore) Shared() any               { return s.shared }
+
+// runCore holds the engine-independent run state: validated config, round
+// statistics, and the adversary budget accounting. Keeping this logic in one
+// place is what guarantees both engines count rounds, messages, and corrupted
+// edge-rounds identically.
+type runCore struct {
+	cfg       Config
+	g         *graph.Graph
+	maxRounds int
+	stats     Stats
+	edgeCong  map[graph.Edge]int
+}
+
+func newRunCore(cfg Config) (*runCore, error) {
+	g := cfg.Graph
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("congest: nil or empty graph")
+	}
+	if cfg.Inputs != nil && len(cfg.Inputs) != g.N() {
+		return nil, fmt.Errorf("congest: %d inputs for %d nodes", len(cfg.Inputs), g.N())
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	return &runCore{cfg: cfg, g: g, maxRounds: maxRounds, edgeCong: make(map[graph.Edge]int)}, nil
+}
+
+// newNodeCores derives the per-node state. Node randomness is seeded from
+// cfg.Seed in node-index order, so every engine hands node i the same RNG
+// stream.
+func (c *runCore) newNodeCores() []nodeCore {
+	seeder := rand.New(rand.NewSource(c.cfg.Seed))
+	cores := make([]nodeCore, c.g.N())
+	for i := range cores {
+		var input []byte
+		if c.cfg.Inputs != nil {
+			input = c.cfg.Inputs[i]
+		}
+		cores[i] = nodeCore{
+			id:        graph.NodeID(i),
+			neighbors: c.g.Neighbors(graph.NodeID(i)),
+			rng:       rand.New(rand.NewSource(seeder.Int63())),
+			input:     input,
+			n:         c.g.N(),
+			shared:    c.cfg.Shared,
+		}
+	}
+	return cores
+}
+
+// collectOutbox validates one node's round outbox and folds it into the
+// round's traffic (nil messages send nothing).
+func (c *runCore) collectOutbox(from graph.NodeID, out map[graph.NodeID]Msg, traffic Traffic) error {
+	for to, m := range out {
+		if m == nil {
+			continue
+		}
+		if !c.g.HasEdge(from, to) {
+			return fmt.Errorf("congest: node %d sent to non-neighbor %d", from, to)
+		}
+		traffic[graph.DirEdge{From: from, To: to}] = m
+	}
+	return nil
+}
+
+// inboxOrEmpty substitutes a fresh empty map for a round with no incoming
+// messages, so protocols never see a nil inbox.
+func inboxOrEmpty(in map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+	if in == nil {
+		return map[graph.NodeID]Msg{}
+	}
+	return in
+}
+
+// outputs gathers the per-node protocol outputs in node order.
+func outputs(cores []nodeCore) []any {
+	out := make([]any, len(cores))
+	for i := range cores {
+		out[i] = cores[i].output
+	}
+	return out
+}
+
+// intercept runs the adversary over the round's traffic and enforces its
+// declared budgets. The touched set is diffed against a snapshot taken before
+// Intercept, so an adversary returning the very map it was given is accounted
+// exactly like one returning a fresh clone. Ordering matters here: the
+// per-round budget is checked on this round's touched set BEFORE it is folded
+// into Stats.CorruptedEdgeRounds, and both checks abort only on strictly
+// exceeding the budget — an adversary landing exactly on its TotalBudget is
+// within its rights and must complete the run with CorruptedEdgeRounds equal
+// to the budget.
+func (c *runCore) intercept(traffic Traffic) (Traffic, error) {
+	if c.cfg.Adversary == nil {
+		return traffic, nil
+	}
+	original := traffic.Clone()
+	delivered := c.cfg.Adversary.Intercept(c.stats.Rounds, traffic)
+	touched := touchedEdges(original, delivered)
+	if b, ok := c.cfg.Adversary.(PerRoundBudget); ok && len(touched) > b.PerRoundEdges() {
+		return nil, fmt.Errorf("%w: %d edges touched in round %d, budget %d",
+			ErrBudgetExceeded, len(touched), c.stats.Rounds, b.PerRoundEdges())
+	}
+	c.stats.CorruptedEdgeRounds += len(touched)
+	if b, ok := c.cfg.Adversary.(TotalBudget); ok && c.stats.CorruptedEdgeRounds > b.TotalEdgeRounds() {
+		return nil, fmt.Errorf("%w: %d total edge-rounds, budget %d",
+			ErrBudgetExceeded, c.stats.CorruptedEdgeRounds, b.TotalEdgeRounds())
+	}
+	return delivered, nil
+}
+
+// deliver validates the post-adversary traffic, accumulates the round's
+// statistics, and sorts messages into per-node inboxes (allocated lazily into
+// the caller's slice, which must arrive nil-filled).
+func (c *runCore) deliver(delivered Traffic, inboxes []map[graph.NodeID]Msg) error {
+	for de, m := range delivered {
+		if !c.g.HasEdge(de.From, de.To) {
+			return fmt.Errorf("congest: adversary injected on non-edge (%d,%d)", de.From, de.To)
+		}
+		c.stats.Messages++
+		c.stats.Bytes += len(m)
+		if len(m) > c.stats.MaxMsgBytes {
+			c.stats.MaxMsgBytes = len(m)
+		}
+		c.edgeCong[de.Undirected()]++
+		if inboxes[de.To] == nil {
+			inboxes[de.To] = make(map[graph.NodeID]Msg)
+		}
+		inboxes[de.To][de.From] = m
+	}
+	return nil
+}
+
+// finish folds the congestion map into the stats and assembles the Result.
+func (c *runCore) finish(outputs []any) *Result {
+	for _, cong := range c.edgeCong {
+		if cong > c.stats.MaxEdgeCongestion {
+			c.stats.MaxEdgeCongestion = cong
+		}
+	}
+	return &Result{Stats: c.stats, Outputs: outputs}
+}
+
+// touchedEdges returns the undirected edges whose traffic differs between
+// the original and delivered maps (modified, dropped, or injected).
+func touchedEdges(original, delivered Traffic) map[graph.Edge]bool {
+	touched := make(map[graph.Edge]bool)
+	for de, m := range original {
+		d, ok := delivered[de]
+		if !ok || !msgEqual(m, d) {
+			touched[de.Undirected()] = true
+		}
+	}
+	for de, d := range delivered {
+		o, ok := original[de]
+		if !ok || !msgEqual(o, d) {
+			touched[de.Undirected()] = true
+		}
+	}
+	return touched
+}
+
+func msgEqual(a, b Msg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,340 @@
+package congest
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mobilecongest/internal/graph"
+)
+
+var allEngines = []Engine{GoroutineEngine{}, StepEngine{}}
+
+// forEngine runs a subtest under every registered engine.
+func forEngine(t *testing.T, fn func(t *testing.T, e Engine)) {
+	t.Helper()
+	for _, e := range allEngines {
+		t.Run(e.Name(), func(t *testing.T) { fn(t, e) })
+	}
+}
+
+func TestEngineByName(t *testing.T) {
+	for _, name := range []string{"goroutine", "step"} {
+		e, err := EngineByName(name)
+		if err != nil || e.Name() != name {
+			t.Fatalf("EngineByName(%q) = %v, %v", name, e, err)
+		}
+	}
+	if _, err := EngineByName(""); err == nil {
+		t.Fatal("empty engine name accepted; it must error rather than pick a silent default")
+	}
+	if _, err := EngineByName("warp"); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+	if got := EngineNames(); !reflect.DeepEqual(got, []string{"goroutine", "step"}) {
+		t.Fatalf("EngineNames() = %v", got)
+	}
+}
+
+// renamedEngine is a trivial custom engine for registry tests.
+type renamedEngine struct{ GoroutineEngine }
+
+func (renamedEngine) Name() string { return "custom-test" }
+
+func TestRegisterEngine(t *testing.T) {
+	RegisterEngine(renamedEngine{})
+	t.Cleanup(func() {
+		enginesMu.Lock()
+		delete(engines, "custom-test")
+		enginesMu.Unlock()
+	})
+	e, err := EngineByName("custom-test")
+	if err != nil || e.Name() != "custom-test" {
+		t.Fatalf("registered engine not resolvable: %v, %v", e, err)
+	}
+	res, err := e.Run(Config{Graph: graph.Path(2), Seed: 1}, floodMax(1))
+	if err != nil || res.Stats.Rounds != 1 {
+		t.Fatalf("custom engine run: %v, %v", res, err)
+	}
+}
+
+func TestEnginesFloodMaxConverges(t *testing.T) {
+	forEngine(t, func(t *testing.T, e Engine) {
+		g := graph.Cycle(10)
+		res, err := e.Run(Config{Graph: g, Seed: 1}, floodMax(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range res.Outputs {
+			if o.(uint64) != 9 {
+				t.Fatalf("node %d output %v, want 9", i, o)
+			}
+		}
+		if res.Stats.Rounds != 5 || res.Stats.Messages != 100 {
+			t.Fatalf("stats = %+v, want 5 rounds / 100 messages", res.Stats)
+		}
+	})
+}
+
+func TestEnginesRoundLimit(t *testing.T) {
+	forEngine(t, func(t *testing.T, e Engine) {
+		g := graph.Path(2)
+		forever := func(rt Runtime) {
+			for {
+				rt.Exchange(map[graph.NodeID]Msg{})
+			}
+		}
+		_, err := e.Run(Config{Graph: g, Seed: 1, MaxRounds: 10}, forever)
+		if !errors.Is(err, ErrRoundLimit) {
+			t.Fatalf("err = %v, want ErrRoundLimit", err)
+		}
+	})
+}
+
+func TestEnginesNonNeighborRejected(t *testing.T) {
+	forEngine(t, func(t *testing.T, e Engine) {
+		g := graph.Path(3)
+		bad := func(rt Runtime) {
+			if rt.ID() == 0 {
+				rt.Exchange(map[graph.NodeID]Msg{2: U64Msg(1)})
+			} else {
+				rt.Exchange(map[graph.NodeID]Msg{})
+			}
+		}
+		if _, err := e.Run(Config{Graph: g, Seed: 1}, bad); err == nil {
+			t.Fatal("sending to non-neighbor accepted")
+		}
+	})
+}
+
+func TestEnginesEarlyTermination(t *testing.T) {
+	forEngine(t, func(t *testing.T, e Engine) {
+		g := graph.Clique(3)
+		proto := func(rt Runtime) {
+			rounds := 3
+			if rt.ID() == 0 {
+				rounds = 1
+			}
+			for r := 0; r < rounds; r++ {
+				out := make(map[graph.NodeID]Msg)
+				for _, v := range rt.Neighbors() {
+					out[v] = U64Msg(uint64(rt.ID()))
+				}
+				rt.Exchange(out)
+			}
+			rt.SetOutput(true)
+		}
+		res, err := e.Run(Config{Graph: g, Seed: 1}, proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Rounds != 3 {
+			t.Fatalf("rounds = %d, want 3", res.Stats.Rounds)
+		}
+	})
+}
+
+func TestEnginesBudgetEnforced(t *testing.T) {
+	forEngine(t, func(t *testing.T, e Engine) {
+		g := graph.Clique(4)
+		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: corruptAll{}}, floodMax(2))
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+		}
+	})
+}
+
+// randProto exercises private node randomness: nodes gossip random words and
+// fold everything they hear into an accumulator.
+func randProto(rounds int) Protocol {
+	return func(rt Runtime) {
+		acc := uint64(0)
+		for r := 0; r < rounds; r++ {
+			out := make(map[graph.NodeID]Msg)
+			for _, v := range rt.Neighbors() {
+				out[v] = U64Msg(rt.Rand().Uint64())
+			}
+			in := rt.Exchange(out)
+			for _, m := range in {
+				acc ^= U64(m)
+			}
+		}
+		rt.SetOutput(acc)
+	}
+}
+
+// TestEnginesEquivalence checks that both engines produce identical Results
+// (stats and outputs) for identical Configs across the in-package protocols.
+// The root package carries the larger randomized corpus over real
+// adversaries; this is the fast smoke version with stateless adversaries.
+func TestEnginesEquivalence(t *testing.T) {
+	protos := map[string]Protocol{
+		"floodMax": floodMax(6),
+		"rand":     randProto(4),
+	}
+	graphs := map[string]*graph.Graph{
+		"cycle10":   graph.Cycle(10),
+		"clique7":   graph.Clique(7),
+		"petersen":  graph.Petersen(),
+		"circulant": graph.Circulant(12, 2),
+	}
+	advs := map[string]Adversary{
+		"none":     nil,
+		"injector": injector{edge: graph.DirEdge{From: 0, To: 1}},
+	}
+	for pname, proto := range protos {
+		for gname, g := range graphs {
+			for aname, adv := range advs {
+				for seed := int64(0); seed < 3; seed++ {
+					cfg := Config{Graph: g, Seed: seed, Adversary: adv}
+					want, err1 := (GoroutineEngine{}).Run(cfg, proto)
+					got, err2 := (StepEngine{}).Run(cfg, proto)
+					if (err1 == nil) != (err2 == nil) {
+						t.Fatalf("%s/%s/%s seed %d: errors differ: %v vs %v", pname, gname, aname, seed, err1, err2)
+					}
+					if err1 != nil {
+						continue
+					}
+					if want.Stats != got.Stats {
+						t.Fatalf("%s/%s/%s seed %d: stats differ:\n goroutine %+v\n step      %+v",
+							pname, gname, aname, seed, want.Stats, got.Stats)
+					}
+					if !reflect.DeepEqual(want.Outputs, got.Outputs) {
+						t.Fatalf("%s/%s/%s seed %d: outputs differ", pname, gname, aname, seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// spendExactly is a total-budget adversary that corrupts exactly one fixed
+// edge per round for its first `total` rounds and afterwards returns the very
+// traffic map it was given, unchanged — the regression shape for the budget
+// accounting: landing exactly on TotalEdgeRounds is within budget, and the
+// post-exhaustion identity rounds must not be counted as touches.
+type spendExactly struct {
+	total int
+	edge  graph.DirEdge
+	spent int
+}
+
+func (a *spendExactly) Intercept(round int, tr Traffic) Traffic {
+	if a.spent >= a.total {
+		return tr
+	}
+	out := tr.Clone()
+	out[a.edge] = U64Msg(uint64(0xBAD0BAD0) + uint64(round))
+	a.spent++
+	return out
+}
+
+func (a *spendExactly) TotalEdgeRounds() int { return a.total }
+
+func TestTotalBudgetExactLandingAllowed(t *testing.T) {
+	forEngine(t, func(t *testing.T, e Engine) {
+		g := graph.Cycle(6)
+		adv := &spendExactly{total: 3, edge: graph.DirEdge{From: 0, To: 1}}
+		res, err := e.Run(Config{Graph: g, Seed: 1, Adversary: adv}, floodMax(8))
+		if err != nil {
+			t.Fatalf("adversary landing exactly on its budget was aborted: %v", err)
+		}
+		if res.Stats.CorruptedEdgeRounds != 3 {
+			t.Fatalf("CorruptedEdgeRounds = %d, want exactly the budget 3", res.Stats.CorruptedEdgeRounds)
+		}
+	})
+}
+
+func TestTotalBudgetStrictlyExceededAborts(t *testing.T) {
+	forEngine(t, func(t *testing.T, e Engine) {
+		g := graph.Cycle(6)
+		// Declares 2 but spends 3: must abort in the third corrupted round.
+		adv := &spendExactly{total: 3}
+		adv.edge = graph.DirEdge{From: 0, To: 1}
+		declared := &declaredBudget{inner: adv, total: 2}
+		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: declared}, floodMax(8))
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+		}
+	})
+}
+
+// declaredBudget wraps an adversary, overriding its declared total budget.
+type declaredBudget struct {
+	inner Adversary
+	total int
+}
+
+func (d *declaredBudget) Intercept(round int, tr Traffic) Traffic {
+	return d.inner.Intercept(round, tr)
+}
+
+func (d *declaredBudget) TotalEdgeRounds() int { return d.total }
+
+// TestPerRoundBudgetCheckedBeforeStats pins the accounting order: when a
+// per-round violation aborts the run, the violating round's touches must not
+// have leaked into a TotalBudget verdict first (an adversary within its total
+// budget but over its per-round budget reports the per-round error).
+func TestPerRoundBudgetCheckedBeforeStats(t *testing.T) {
+	forEngine(t, func(t *testing.T, e Engine) {
+		g := graph.Clique(4)
+		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: overPerRound{}}, floodMax(2))
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "touched in round") {
+			t.Fatalf("expected the per-round violation to be reported, got %v", err)
+		}
+	})
+}
+
+// overPerRound touches 2 edges per round, declares per-round budget 1 and a
+// generous total budget.
+type overPerRound struct{}
+
+func (overPerRound) Intercept(_ int, tr Traffic) Traffic {
+	out := tr.Clone()
+	out[graph.DirEdge{From: 0, To: 1}] = U64Msg(0xAA)
+	out[graph.DirEdge{From: 2, To: 3}] = U64Msg(0xBB)
+	return out
+}
+func (overPerRound) PerRoundEdges() int   { return 1 }
+func (overPerRound) TotalEdgeRounds() int { return 1000 }
+
+// TestStepEngineWrappedRuntime mirrors TestWrappedRuntime under the step
+// engine: compiler-style Runtime wrapping must be engine-agnostic.
+func TestStepEngineWrappedRuntime(t *testing.T) {
+	g := graph.Path(2)
+	proto := func(rt Runtime) {
+		w := &WrappedRuntime{Base: rt}
+		w.ExchangeFn = func(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+			in := rt.Exchange(out)
+			rt.Exchange(map[graph.NodeID]Msg{})
+			return in
+		}
+		payload := func(v Runtime) {
+			out := map[graph.NodeID]Msg{}
+			for _, nb := range v.Neighbors() {
+				out[nb] = U64Msg(uint64(v.ID()) + 100)
+			}
+			in := v.Exchange(out)
+			var got uint64
+			for _, m := range in {
+				got = U64(m)
+			}
+			v.SetOutput(got)
+		}
+		payload(w)
+	}
+	res, err := (StepEngine{}).Run(Config{Graph: g, Seed: 1}, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 2 {
+		t.Fatalf("physical rounds = %d, want 2", res.Stats.Rounds)
+	}
+	if res.Outputs[0].(uint64) != 101 || res.Outputs[1].(uint64) != 100 {
+		t.Fatalf("outputs wrong: %v", res.Outputs)
+	}
+}

@@ -1,0 +1,145 @@
+package congest
+
+import (
+	"fmt"
+
+	"mobilecongest/internal/graph"
+)
+
+// abortSignal unwinds node goroutines (or coroutines) when the engine aborts
+// a run.
+type abortSignal struct{}
+
+// GoroutineEngine runs each node's protocol as straight-line Go code in its
+// own goroutine; Exchange blocks on channels and acts as the end-of-round
+// barrier. This is the original engine: maximally faithful to the "each node
+// is an independent processor" reading of the model, at the price of two
+// channel handoffs plus scheduler wakeups per node per round.
+type GoroutineEngine struct{}
+
+// Name implements Engine.
+func (GoroutineEngine) Name() string { return "goroutine" }
+
+// goroutineNode is the per-node runtime of the goroutine engine. It points
+// into the run's shared nodeCore slice so the run core can gather outputs.
+type goroutineNode struct {
+	*nodeCore
+
+	outCh  chan map[graph.NodeID]Msg
+	inCh   chan map[graph.NodeID]Msg
+	doneCh chan struct{}
+	abort  chan struct{}
+}
+
+var _ Runtime = (*goroutineNode)(nil)
+
+func (s *goroutineNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+	select {
+	case s.outCh <- out:
+	case <-s.abort:
+		panic(abortSignal{})
+	}
+	select {
+	case in := <-s.inCh:
+		s.round++
+		return in
+	case <-s.abort:
+		panic(abortSignal{})
+	}
+}
+
+// Run implements Engine.
+func (GoroutineEngine) Run(cfg Config, proto Protocol) (*Result, error) {
+	core, err := newRunCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := core.g
+	abort := make(chan struct{})
+	cores := core.newNodeCores()
+	nodes := make([]*goroutineNode, g.N())
+	for i := range nodes {
+		nodes[i] = &goroutineNode{
+			nodeCore: &cores[i],
+			outCh:    make(chan map[graph.NodeID]Msg),
+			inCh:     make(chan map[graph.NodeID]Msg),
+			doneCh:   make(chan struct{}),
+			abort:    abort,
+		}
+	}
+	for _, s := range nodes {
+		go func(s *goroutineNode) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); !ok {
+						panic(r)
+					}
+				}
+				close(s.doneCh)
+			}()
+			proto(s)
+		}(s)
+	}
+
+	active := make([]bool, g.N())
+	nActive := g.N()
+	for i := range active {
+		active[i] = true
+	}
+
+	abortAll := func() {
+		close(abort)
+		for _, s := range nodes {
+			<-s.doneCh
+		}
+	}
+
+	for nActive > 0 {
+		if core.stats.Rounds >= core.maxRounds {
+			abortAll()
+			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, core.maxRounds)
+		}
+		// Collect the round's outboxes; a node either exchanges or
+		// terminates this round.
+		traffic := make(Traffic)
+		for i, s := range nodes {
+			if !active[i] {
+				continue
+			}
+			select {
+			case out := <-s.outCh:
+				if err := core.collectOutbox(s.id, out, traffic); err != nil {
+					abortAll()
+					return nil, err
+				}
+			case <-s.doneCh:
+				active[i] = false
+				nActive--
+			}
+		}
+		if nActive == 0 {
+			break
+		}
+
+		delivered, err := core.intercept(traffic)
+		if err != nil {
+			abortAll()
+			return nil, err
+		}
+
+		inboxes := make([]map[graph.NodeID]Msg, g.N())
+		if err := core.deliver(delivered, inboxes); err != nil {
+			abortAll()
+			return nil, err
+		}
+		for i, s := range nodes {
+			if !active[i] {
+				continue
+			}
+			s.inCh <- inboxOrEmpty(inboxes[i])
+		}
+		core.stats.Rounds++
+	}
+
+	return core.finish(outputs(cores)), nil
+}

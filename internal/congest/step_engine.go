@@ -1,0 +1,147 @@
+package congest
+
+import (
+	"fmt"
+	"iter"
+
+	"mobilecongest/internal/graph"
+)
+
+// StepEngine runs every node as a resumable step function driven by a single
+// scheduler goroutine. Each protocol is wrapped in a coroutine (iter.Pull):
+// Exchange parks the node by yielding its outbox slot and resumes with the
+// inbox slot filled in. Compared to GoroutineEngine this removes the two
+// channel handoffs and the scheduler wakeup per node per round — the
+// coroutine switch is a direct handoff — and lets the engine reuse its
+// round-traffic map instead of reallocating it every round. Semantics are
+// identical: nodes still interact only at the Exchange barrier, so any
+// protocol that is deterministic under GoroutineEngine produces a
+// byte-identical Result here.
+type StepEngine struct{}
+
+// Name implements Engine.
+func (StepEngine) Name() string { return "step" }
+
+// stepNode is the per-node runtime of the step engine. It points into the
+// run's shared nodeCore slice; out and in are the handoff slots the
+// scheduler reads and writes between resumptions.
+type stepNode struct {
+	*nodeCore
+
+	yield func(struct{}) bool
+	next  func() (struct{}, bool)
+	stop  func()
+	done  bool
+
+	out map[graph.NodeID]Msg
+	in  map[graph.NodeID]Msg
+}
+
+var _ Runtime = (*stepNode)(nil)
+
+func (s *stepNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+	s.out = out
+	// yield returns false when the scheduler stopped the coroutine (abort or
+	// early engine exit): unwind the protocol exactly like the goroutine
+	// engine does.
+	if !s.yield(struct{}{}) {
+		panic(abortSignal{})
+	}
+	s.round++
+	in := s.in
+	s.in = nil
+	return in
+}
+
+// Run implements Engine.
+func (StepEngine) Run(cfg Config, proto Protocol) (*Result, error) {
+	core, err := newRunCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := core.g
+	cores := core.newNodeCores()
+	nodes := make([]*stepNode, g.N())
+	for i := range nodes {
+		s := &stepNode{nodeCore: &cores[i]}
+		s.next, s.stop = iter.Pull(func(yield func(struct{}) bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortSignal); !ok {
+						panic(r)
+					}
+				}
+			}()
+			s.yield = yield
+			proto(s)
+		})
+		nodes[i] = s
+	}
+	// Unwind every still-parked coroutine on any exit path; stop is a no-op
+	// on finished ones.
+	defer func() {
+		for _, s := range nodes {
+			s.stop()
+		}
+	}()
+
+	nActive := g.N()
+	// With no adversary the round-traffic map is engine-private, so it can be
+	// cleared and reused; an adversary may retain the map it was handed, so
+	// each round gets a fresh one then.
+	reuseTraffic := cfg.Adversary == nil
+	traffic := make(Traffic)
+	inboxes := make([]map[graph.NodeID]Msg, g.N())
+
+	for nActive > 0 {
+		if core.stats.Rounds >= core.maxRounds {
+			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, core.maxRounds)
+		}
+		// Step each node to its next Exchange (collecting its outbox) or to
+		// termination — same node order as the goroutine engine's collection
+		// loop.
+		if reuseTraffic {
+			clear(traffic)
+		} else {
+			traffic = make(Traffic)
+		}
+		for _, s := range nodes {
+			if s.done {
+				continue
+			}
+			s.out = nil
+			if _, alive := s.next(); !alive {
+				s.done = true
+				nActive--
+				continue
+			}
+			if err := core.collectOutbox(s.id, s.out, traffic); err != nil {
+				return nil, err
+			}
+		}
+		if nActive == 0 {
+			break
+		}
+
+		delivered, err := core.intercept(traffic)
+		if err != nil {
+			return nil, err
+		}
+
+		for i := range inboxes {
+			inboxes[i] = nil
+		}
+		if err := core.deliver(delivered, inboxes); err != nil {
+			return nil, err
+		}
+		for i, s := range nodes {
+			if s.done {
+				continue
+			}
+			s.in = inboxOrEmpty(inboxes[i])
+		}
+		core.stats.Rounds++
+	}
+
+	return core.finish(outputs(cores)), nil
+}

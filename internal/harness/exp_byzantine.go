@@ -1,6 +1,8 @@
 package harness
 
 import (
+	mc "mobilecongest"
+
 	"fmt"
 	"sync"
 
@@ -38,8 +40,8 @@ func runF1(seed int64) (*Table, error) {
 		inputs := algorithms.CliqueWeights(n, seed)
 		want := algorithms.ReferenceMSTWeight(inputs)
 		adv := adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptFlip)
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Inputs: inputs, Shared: sh, Adversary: adv, MaxRounds: 1 << 23},
-			resilient.Compile(algorithms.MSTClique(), resilient.Config{Mode: resilient.SparseMode, F: f, Rep: 5}))
+		res, err := runScenario(resilient.Compile(algorithms.MSTClique(), resilient.Config{Mode: resilient.SparseMode, F: f, Rep: 5}),
+			mc.WithGraph(g), mc.WithSeed(seed), mc.WithInputs(inputs), mc.WithShared(sh), mc.WithAdversary(adv), mc.WithMaxRounds(1<<23))
 		if err != nil {
 			return nil, err
 		}
@@ -83,14 +85,14 @@ func runF2(seed int64) (*Table, error) {
 	} {
 		g := resilient.RandomExpander(tc.n, tc.d, seed)
 		adv := adversary.NewMobileByzantine(g, tc.f, seed, adversary.SelectRandom, adversary.CorruptFlip)
-		sh, packRounds, err := resilient.ExpanderShared(g, tc.k, 12, 7, seed, adv)
+		sh, packRounds, err := resilient.ExpanderSharedOn(currentEngine(), g, tc.k, 12, 7, seed, adv)
 		if err != nil {
 			return nil, err
 		}
 		stats := sh.Packing.Validate(g, 12)
 		adv2 := adversary.NewMobileByzantine(g, tc.f, seed+1, adversary.SelectRandom, adversary.CorruptRandomize)
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed + 1, Shared: sh, Adversary: adv2, MaxRounds: 1 << 23},
-			resilient.Compile(algorithms.FloodMax(g.Diameter()), resilient.Config{Mode: resilient.SparseMode, F: tc.f, Rep: 5}))
+		res, err := runScenario(resilient.Compile(algorithms.FloodMax(g.Diameter()), resilient.Config{Mode: resilient.SparseMode, F: tc.f, Rep: 5}),
+			mc.WithGraph(g), mc.WithSeed(seed+1), mc.WithShared(sh), mc.WithAdversary(adv2), mc.WithMaxRounds(1<<23))
 		if err != nil {
 			return nil, err
 		}
@@ -133,10 +135,10 @@ func runF3(seed int64) (*Table, error) {
 			mu.Unlock()
 		}
 		adv := adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptFlip)
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Shared: sh, Adversary: adv, MaxRounds: 1 << 23},
-			resilient.Compile(algorithms.FloodMax(2), resilient.Config{
-				Mode: resilient.L0Mode, F: f, Rep: 5, Samplers: 8, Iterations: 4, TraceFn: trace,
-			}))
+		res, err := runScenario(resilient.Compile(algorithms.FloodMax(2), resilient.Config{
+			Mode: resilient.L0Mode, F: f, Rep: 5, Samplers: 8, Iterations: 4, TraceFn: trace,
+		}),
+			mc.WithGraph(g), mc.WithSeed(seed), mc.WithShared(sh), mc.WithAdversary(adv), mc.WithMaxRounds(1<<23))
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +187,8 @@ func runT9(seed int64) (*Table, error) {
 			name: "tokenring", rounds: 3,
 			proto: func(g *graph.Graph) congest.Protocol { return algorithms.TokenRing(3) },
 			verify: func(g *graph.Graph, outs []any) bool {
-				clean, err := congest.Run(congest.Config{Graph: g, Seed: 1}, algorithms.TokenRing(3))
+				clean, err := runScenario(algorithms.TokenRing(3),
+					mc.WithGraph(g), mc.WithSeed(1))
 				if err != nil {
 					return false
 				}
@@ -225,8 +228,8 @@ func runT9(seed int64) (*Table, error) {
 				f := 1
 				adv := adversary.NewMobileByzantine(gc.g, f, seed, st.sel, st.cor)
 				proto := pc.proto(gc.g)
-				res, err := congest.Run(congest.Config{Graph: gc.g, Seed: seed, Shared: gc.sh, Adversary: adv, MaxRounds: 1 << 23},
-					resilient.Compile(proto, resilient.Config{Mode: resilient.SparseMode, F: f, Rep: 5}))
+				res, err := runScenario(resilient.Compile(proto, resilient.Config{Mode: resilient.SparseMode, F: f, Rep: 5}),
+					mc.WithGraph(gc.g), mc.WithSeed(seed), mc.WithShared(gc.sh), mc.WithAdversary(adv), mc.WithMaxRounds(1<<23))
 				if err != nil {
 					return nil, err
 				}
@@ -234,8 +237,8 @@ func runT9(seed int64) (*Table, error) {
 				if !correct {
 					tb.Pass = false
 				}
-				clean, err := congest.Run(congest.Config{Graph: gc.g, Seed: seed, Shared: gc.sh},
-					proto)
+				clean, err := runScenario(proto,
+					mc.WithGraph(gc.g), mc.WithSeed(seed), mc.WithShared(gc.sh))
 				if err != nil {
 					return nil, err
 				}
@@ -268,8 +271,8 @@ func runA1(seed int64) (*Table, error) {
 	} {
 		f := 1
 		adv := adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptFlip)
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Shared: sh, Adversary: adv, MaxRounds: 1 << 23},
-			resilient.Compile(algorithms.FloodMax(2), resilient.Config{Mode: tc.mode, F: f, Rep: 5, Samplers: 8, Iterations: 4}))
+		res, err := runScenario(resilient.Compile(algorithms.FloodMax(2), resilient.Config{Mode: tc.mode, F: f, Rep: 5, Samplers: 8, Iterations: 4}),
+			mc.WithGraph(g), mc.WithSeed(seed), mc.WithShared(sh), mc.WithAdversary(adv), mc.WithMaxRounds(1<<23))
 		if err != nil {
 			return nil, err
 		}
@@ -312,8 +315,8 @@ func runA3(seed int64) (*Table, error) {
 	var rounds []int
 	for _, rep := range []int{3, 5, 7} {
 		adv := adversary.NewMobileByzantine(g, 1, seed, adversary.SelectRandom, adversary.CorruptFlip)
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Shared: sh, Adversary: adv, MaxRounds: 1 << 23},
-			resilient.Compile(algorithms.FloodMax(2), resilient.Config{Mode: resilient.SparseMode, F: 1, Rep: rep}))
+		res, err := runScenario(resilient.Compile(algorithms.FloodMax(2), resilient.Config{Mode: resilient.SparseMode, F: 1, Rep: rep}),
+			mc.WithGraph(g), mc.WithSeed(seed), mc.WithShared(sh), mc.WithAdversary(adv), mc.WithMaxRounds(1<<23))
 		if err != nil {
 			return nil, err
 		}

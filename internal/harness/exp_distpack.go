@@ -1,9 +1,10 @@
 package harness
 
 import (
+	mc "mobilecongest"
+
 	"mobilecongest/internal/adversary"
 	"mobilecongest/internal/algorithms"
-	"mobilecongest/internal/congest"
 	"mobilecongest/internal/graph"
 	"mobilecongest/internal/resilient"
 	"mobilecongest/internal/treepack"
@@ -37,8 +38,8 @@ func runT10(seed int64) (*Table, error) {
 		{"clique(10)", graph.Clique(10), 6, 1},
 	} {
 		n := tc.g.N()
-		packRes, err := congest.Run(congest.Config{Graph: tc.g, Seed: seed, MaxRounds: 1 << 22},
-			treepack.DistributedGreedyPacking(tc.k, n))
+		packRes, err := runScenario(treepack.DistributedGreedyPacking(tc.k, n),
+			mc.WithGraph(tc.g), mc.WithSeed(seed), mc.WithMaxRounds(1<<22))
 		if err != nil {
 			return nil, err
 		}
@@ -46,8 +47,8 @@ func runT10(seed int64) (*Table, error) {
 		stats := p.Validate(tc.g, 0)
 		sh := resilient.NewShared(tc.g, p)
 		adv := adversary.NewMobileByzantine(tc.g, tc.f, seed, adversary.SelectRandom, adversary.CorruptFlip)
-		res, err := congest.Run(congest.Config{Graph: tc.g, Seed: seed + 1, Shared: sh, Adversary: adv, MaxRounds: 1 << 23},
-			resilient.Compile(algorithms.FloodMax(tc.g.Diameter()), resilient.Config{Mode: resilient.SparseMode, F: tc.f, Rep: 5}))
+		res, err := runScenario(resilient.Compile(algorithms.FloodMax(tc.g.Diameter()), resilient.Config{Mode: resilient.SparseMode, F: tc.f, Rep: 5}),
+			mc.WithGraph(tc.g), mc.WithSeed(seed+1), mc.WithShared(sh), mc.WithAdversary(adv), mc.WithMaxRounds(1<<23))
 		if err != nil {
 			return nil, err
 		}

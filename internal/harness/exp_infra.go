@@ -1,6 +1,8 @@
 package harness
 
 import (
+	mc "mobilecongest"
+
 	"fmt"
 	"math/rand"
 
@@ -69,8 +71,8 @@ func runF4(seed int64) (*Table, error) {
 	} {
 		r := 2
 		adv := adversary.NewRoundErrorRate(g, 2200, tc.burst, seed, tc.sel, tc.cor)
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Shared: sh, Adversary: adv, MaxRounds: 1 << 23},
-			rewind.Compile(algorithms.FloodMax(r), rewind.Config{R: r, F: 2, Rep: 5}))
+		res, err := runScenario(rewind.Compile(algorithms.FloodMax(r), rewind.Config{R: r, F: 2, Rep: 5}),
+			mc.WithGraph(g), mc.WithSeed(seed), mc.WithShared(sh), mc.WithAdversary(adv), mc.WithMaxRounds(1<<23))
 		if err != nil {
 			return nil, err
 		}
@@ -143,8 +145,8 @@ func runF5(seed int64) (*Table, error) {
 				got := rsim.BroadcastDown(rt, tv, payloads, depth, rep)
 				rt.SetOutput(len(got[0]) == 1 && got[0][0] == 0x5A)
 			}
-			res, err := congest.Run(congest.Config{Graph: g, Seed: seed + int64(trial), Shared: views,
-				Adversary: newFlipScheduled(sched)}, proto)
+			res, err := runScenario(proto,
+				mc.WithGraph(g), mc.WithSeed(seed+int64(trial)), mc.WithShared(views), mc.WithAdversary(newFlipScheduled(sched)))
 			if err != nil {
 				return nil, err
 			}
@@ -235,8 +237,8 @@ func runT6(seed int64) (*Table, error) {
 		sh := ccpath.NewShared(cover)
 		r := tc.g.Diameter()
 		adv := adversary.NewMobileByzantine(tc.g, tc.f, seed, adversary.SelectRandom, adversary.CorruptRandomize)
-		res, err := congest.Run(congest.Config{Graph: tc.g, Seed: seed, Shared: sh, Adversary: adv, MaxRounds: 1 << 23},
-			ccpath.Compile(algorithms.FloodMax(r), tc.f))
+		res, err := runScenario(ccpath.Compile(algorithms.FloodMax(r), tc.f),
+			mc.WithGraph(tc.g), mc.WithSeed(seed), mc.WithShared(sh), mc.WithAdversary(adv), mc.WithMaxRounds(1<<23))
 		if err != nil {
 			return nil, err
 		}
@@ -300,7 +302,8 @@ func runT7(seed int64) (*Table, error) {
 		goodSum, loadMax, depthMax := 0, 0, 0
 		for i := int64(0); i < trials; i++ {
 			g := resilient.RandomExpander(30, 16, seed+i)
-			res, err := congest.Run(congest.Config{Graph: g, Seed: seed + i}, treepack.ExpanderPacking(k, z))
+			res, err := runScenario(treepack.ExpanderPacking(k, z),
+				mc.WithGraph(g), mc.WithSeed(seed+i))
 			if err != nil {
 				return nil, err
 			}
@@ -447,8 +450,8 @@ func runA2(seed int64) (*Table, error) {
 				got := rsim.BroadcastDown(rt, tv, payloads, depth, repC)
 				rt.SetOutput(len(got[0]) == 1 && got[0][0] == 0x77)
 			}
-			res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Shared: views,
-				Adversary: newFlipScheduled(sched)}, proto)
+			res, err := runScenario(proto,
+				mc.WithGraph(g), mc.WithSeed(seed), mc.WithShared(views), mc.WithAdversary(newFlipScheduled(sched)))
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	mc "mobilecongest"
+
 	"fmt"
 
 	"mobilecongest/internal/adversary"
@@ -37,8 +39,8 @@ func runT1(seed int64) (*Table, error) {
 	f := 2
 	for _, t := range []int{1, r, 2 * f * r, 4 * f * r} {
 		rp, fp := secure.MobileParams(r, t, f)
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed},
-			secure.StaticToMobile(algorithms.Broadcast(0, 31337, r), r, t))
+		res, err := runScenario(secure.StaticToMobile(algorithms.Broadcast(0, 31337, r), r, t),
+			mc.WithGraph(g), mc.WithSeed(seed))
 		if err != nil {
 			return nil, err
 		}
@@ -146,8 +148,8 @@ func runT3(seed int64) (*Table, error) {
 		inputs := make([][]byte, tc.g.N())
 		inputs[tc.s] = congest.PutU64(nil, 0xD00D)
 		eve := adversary.NewMobileEavesdropper(tc.g, 2, seed)
-		res, err := congest.Run(congest.Config{Graph: tc.g, Seed: seed, Inputs: inputs, Shared: sh, Adversary: eve},
-			secure.MobileSecureUnicast(tc.s))
+		res, err := runScenario(secure.MobileSecureUnicast(tc.s),
+			mc.WithGraph(tc.g), mc.WithSeed(seed), mc.WithInputs(inputs), mc.WithShared(sh), mc.WithAdversary(eve))
 		if err != nil {
 			return nil, err
 		}
@@ -182,8 +184,8 @@ func runT4(seed int64) (*Table, error) {
 		inputs := make([][]byte, g.N())
 		inputs[source] = congest.PutU64(nil, 0xCAFE)
 		eve := adversary.NewMobileEavesdropper(g, f, seed)
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Inputs: inputs, Shared: sh, Adversary: eve},
-			secure.MobileSecureBroadcast(f))
+		res, err := runScenario(secure.MobileSecureBroadcast(f),
+			mc.WithGraph(g), mc.WithSeed(seed), mc.WithInputs(inputs), mc.WithShared(sh), mc.WithAdversary(eve))
 		if err != nil {
 			return nil, err
 		}
@@ -238,8 +240,8 @@ func runT5(seed int64) (*Table, error) {
 			}
 			rt.SetOutput(have)
 		}
-		res, err := congest.Run(congest.Config{Graph: g, Seed: seed, Shared: sh},
-			secure.CompileCongestionSensitive(payload, secure.CSConfig{R: rr, F: 1, Cong: rr}))
+		res, err := runScenario(secure.CompileCongestionSensitive(payload, secure.CSConfig{R: rr, F: 1, Cong: rr}),
+			mc.WithGraph(g), mc.WithSeed(seed), mc.WithShared(sh))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	mc "mobilecongest"
+
 	"fmt"
 
 	"mobilecongest/internal/adversary"
@@ -46,9 +48,8 @@ func runT11(seed int64) (*Table, error) {
 				if compiled {
 					proto = secure.StaticToMobile(proto, r, tSlack)
 				}
-				if _, err := congest.Run(congest.Config{
-					Graph: g, Seed: seed + int64(i*2+which), Inputs: in, Adversary: eve,
-				}, proto); err != nil {
+				if _, err := runScenario(proto,
+					mc.WithGraph(g), mc.WithSeed(seed+int64(i*2+which)), mc.WithInputs(in), mc.WithAdversary(eve)); err != nil {
 					return nil, nil, err
 				}
 				// Only message payload bytes (positions after the 12-byte

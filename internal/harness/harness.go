@@ -8,7 +8,43 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	mc "mobilecongest"
 )
+
+// engineName is the engine every experiment's simulations run on. The step
+// engine is the default because the suite is simulation-bound and the two
+// engines are result-equivalent by contract.
+var engineName = mc.EngineStep.Name()
+
+// UseEngine selects the execution engine (by registry name) for all
+// experiments; cmd/mobilesim wires its -engine flag here. (The experiment
+// benchmarks in bench_test.go run on this package default; BenchmarkRun
+// selects engines on its own scenarios.)
+func UseEngine(name string) error {
+	if _, err := mc.NewEngine(name); err != nil {
+		return err
+	}
+	engineName = name
+	return nil
+}
+
+// currentEngine resolves the harness-wide engine instance; engineName is
+// validated whenever it is set, so resolution cannot fail.
+func currentEngine() mc.Engine {
+	e, err := mc.NewEngine(engineName)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// runScenario executes one simulation on the harness-wide engine. It is the
+// single funnel every experiment's runs go through.
+func runScenario(proto mc.Protocol, opts ...mc.ScenarioOption) (*mc.Result, error) {
+	opts = append(opts, mc.WithProtocol(proto), mc.WithEngineName(engineName))
+	return mc.NewScenario(opts...).Run()
+}
 
 // Row is one measurement row: ordered label/value pairs.
 type Row struct {

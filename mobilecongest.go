@@ -19,10 +19,38 @@
 //   - Theorems 1.4/5.5 — compilation from fault-tolerant cycle covers:
 //     ccpath.Compile over cyclecover.Build.
 //
-// This root package re-exports the simulator's entry points and provides
-// convenience constructors so the examples and downstream users need a
-// single import for common workflows; the full API lives in the internal
-// packages listed above (importable inside this module).
+// This root package is the simulator's single entry surface. A simulation is
+// described by a Scenario built from functional options and executed on a
+// pluggable Engine:
+//
+//	res, err := mobilecongest.NewScenario(
+//		mobilecongest.WithTopology("clique", 16, 0),
+//		mobilecongest.WithProtocol(proto),
+//		mobilecongest.WithAdversaryName("flip", 2),
+//		mobilecongest.WithSeed(7),
+//	).Run()
+//
+// Two engines are registered: "goroutine" (one goroutine per node, channel
+// barriers — the faithful processors-as-goroutines reading) and "step" (nodes
+// resumed as coroutine step functions on one scheduler goroutine — the fast
+// default). Both produce identical Results for identical scenarios.
+//
+// Parameter sweeps fan a Grid of scenarios out across GOMAXPROCS workers with
+// deterministic per-cell seeds and return JSON-serializable Records:
+//
+//	recs, err := mobilecongest.Sweep(mobilecongest.Grid{
+//		Topologies:  []string{"clique", "circulant"},
+//		Ns:          []int{16, 32, 64},
+//		Adversaries: []string{"none", "flip"},
+//		Fs:          []int{2},
+//	})
+//
+// Topology and adversary families are name-keyed registries (see
+// RegisterTopology / RegisterAdversary) so new families plug into scenarios,
+// sweeps, and the mobilesim CLI without touching this package. The legacy
+// Run(RunConfig, proto) form remains as a deprecated thin wrapper; the full
+// low-level API lives in the internal packages listed above (importable
+// inside this module).
 package mobilecongest
 
 import (
@@ -55,7 +83,12 @@ type (
 	Adversary = congest.Adversary
 )
 
-// Run executes a protocol on a graph; see congest.Run.
+// Run executes a protocol on a graph with the goroutine engine; see
+// congest.Run.
+//
+// Deprecated: build a Scenario instead — NewScenario(WithGraph(cfg.Graph),
+// WithProtocol(proto), ...).Run() — which adds engine selection and feeds
+// directly into Sweep. Run is kept as a thin wrapper for existing call sites.
 func Run(cfg RunConfig, proto Protocol) (*Result, error) { return congest.Run(cfg, proto) }
 
 // NewClique returns the complete graph K_n.

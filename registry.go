@@ -1,0 +1,176 @@
+package mobilecongest
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/graph"
+)
+
+// Name-keyed topology and adversary registries. They let scenarios, sweeps,
+// and the CLI refer to graph families and attack models by string — the glue
+// that makes parameter grids expressible without importing the internal
+// packages. Built-in entries cover the families and adversaries the paper's
+// experiments exercise; downstream code can add its own with RegisterTopology
+// and RegisterAdversary.
+
+// TopologyFunc builds a graph of the named family. n is the node count; k is
+// the family's secondary parameter (chord distance for circulants, rows for
+// grids) and is ignored by families that have none.
+type TopologyFunc func(n, k int) (*Graph, error)
+
+// AdversaryFunc builds a named adversary over g. f is the per-round edge
+// strength (ignored by "none") and seed drives the adversary's randomness.
+// A nil Adversary (fault-free) is a valid return.
+type AdversaryFunc func(g *Graph, f int, seed int64) (Adversary, error)
+
+var (
+	registryMu  sync.RWMutex
+	topologies  = map[string]TopologyFunc{}
+	adversaries = map[string]AdversaryFunc{}
+)
+
+// RegisterTopology adds (or replaces) a named topology family.
+func RegisterTopology(name string, fn TopologyFunc) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	topologies[name] = fn
+}
+
+// RegisterAdversary adds (or replaces) a named adversary family.
+func RegisterAdversary(name string, fn AdversaryFunc) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	adversaries[name] = fn
+}
+
+// BuildTopology instantiates a registered topology.
+func BuildTopology(name string, n, k int) (*Graph, error) {
+	registryMu.RLock()
+	fn, ok := topologies[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mobilecongest: unknown topology %q (have %v)", name, Topologies())
+	}
+	return fn(n, k)
+}
+
+// HasTopology reports whether a topology family is registered under name.
+func HasTopology(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := topologies[name]
+	return ok
+}
+
+// HasAdversary reports whether an adversary family is registered under name.
+func HasAdversary(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := adversaries[name]
+	return ok
+}
+
+// BuildAdversary instantiates a registered adversary.
+func BuildAdversary(name string, g *Graph, f int, seed int64) (Adversary, error) {
+	registryMu.RLock()
+	fn, ok := adversaries[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mobilecongest: unknown adversary %q (have %v)", name, Adversaries())
+	}
+	return fn(g, f, seed)
+}
+
+// Topologies lists the registered topology names, sorted.
+func Topologies() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(topologies))
+	for n := range topologies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Adversaries lists the registered adversary names, sorted.
+func Adversaries() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(adversaries))
+	for n := range adversaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterTopology("clique", func(n, _ int) (*Graph, error) {
+		return graph.Clique(n), nil
+	})
+	RegisterTopology("cycle", func(n, _ int) (*Graph, error) {
+		return graph.Cycle(n), nil
+	})
+	RegisterTopology("path", func(n, _ int) (*Graph, error) {
+		return graph.Path(n), nil
+	})
+	RegisterTopology("circulant", func(n, k int) (*Graph, error) {
+		if k <= 0 {
+			k = 2
+		}
+		return graph.Circulant(n, k), nil
+	})
+	RegisterTopology("grid", func(n, k int) (*Graph, error) {
+		rows := k
+		if rows <= 0 {
+			// Default to the most-square factorization.
+			for rows = int(math.Sqrt(float64(n))); rows > 1 && n%rows != 0; rows-- {
+			}
+			if rows < 1 {
+				rows = 1
+			}
+		}
+		if n%rows != 0 {
+			return nil, fmt.Errorf("mobilecongest: grid rows %d does not divide n=%d", rows, n)
+		}
+		return graph.Grid(rows, n/rows), nil
+	})
+	RegisterTopology("hypercube", func(n, _ int) (*Graph, error) {
+		if n <= 0 || n&(n-1) != 0 {
+			return nil, fmt.Errorf("mobilecongest: hypercube needs a power-of-two n, got %d", n)
+		}
+		return graph.Hypercube(bits.TrailingZeros(uint(n))), nil
+	})
+
+	RegisterAdversary("none", func(*Graph, int, int64) (Adversary, error) {
+		return nil, nil
+	})
+	RegisterAdversary("eavesdrop", func(g *Graph, f int, seed int64) (Adversary, error) {
+		return adversary.NewMobileEavesdropper(g, f, seed), nil
+	})
+	RegisterAdversary("static-eavesdrop", func(g *Graph, f int, seed int64) (Adversary, error) {
+		return adversary.NewStaticEavesdropper(g, f, seed), nil
+	})
+	mobileByz := func(cor adversary.Corruption) AdversaryFunc {
+		return func(g *Graph, f int, seed int64) (Adversary, error) {
+			return adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, cor), nil
+		}
+	}
+	RegisterAdversary("flip", mobileByz(adversary.CorruptFlip))
+	RegisterAdversary("drop", mobileByz(adversary.CorruptDrop))
+	RegisterAdversary("randomize", mobileByz(adversary.CorruptRandomize))
+	RegisterAdversary("swap", mobileByz(adversary.CorruptSwap))
+	RegisterAdversary("inject", mobileByz(adversary.CorruptInject))
+	RegisterAdversary("busiest", func(g *Graph, f int, seed int64) (Adversary, error) {
+		return adversary.NewMobileByzantine(g, f, seed, adversary.SelectBusiest, adversary.CorruptFlip), nil
+	})
+	RegisterAdversary("static-flip", func(g *Graph, f int, seed int64) (Adversary, error) {
+		return adversary.NewStaticByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptFlip), nil
+	})
+}

@@ -1,0 +1,220 @@
+package mobilecongest
+
+import (
+	"errors"
+	"fmt"
+
+	"mobilecongest/internal/congest"
+)
+
+// Engine is the pluggable execution substrate; see congest.Engine.
+type Engine = congest.Engine
+
+// The two built-in engines. EngineStep is the default for scenarios: it runs
+// nodes as resumable coroutine steps on one scheduler goroutine, which is
+// measurably faster than the goroutine-per-node engine and produces identical
+// Results (enforced by the cross-engine equivalence tests).
+var (
+	EngineGoroutine Engine = congest.GoroutineEngine{}
+	EngineStep      Engine = congest.StepEngine{}
+)
+
+// NewEngine resolves an engine by registry name ("goroutine", "step"). An
+// empty name is an error; leave the engine unset on a Scenario to get the
+// step-engine default.
+func NewEngine(name string) (Engine, error) { return congest.EngineByName(name) }
+
+// EngineNames lists the registered engine names.
+func EngineNames() []string { return congest.EngineNames() }
+
+// advSeedMix decorrelates registry-built adversary randomness from the node
+// randomness derived from the same scenario seed.
+const advSeedMix = 0x6d6f62696c65 // "mobile"
+
+// Scenario is one fully-described simulation: topology, protocol, adversary,
+// engine, and run parameters. Build it with NewScenario and functional
+// options; zero-value defaults are fault-free, seed 0, the step engine, and
+// the engine's generous round limit.
+//
+// A Scenario is the single entry point for running simulations — it replaces
+// hand-rolled congest.Config literals — and is the unit a Sweep fans out.
+type Scenario struct {
+	name      string
+	g         *Graph
+	topoName  string
+	topoN     int
+	topoK     int
+	proto     Protocol
+	adv       Adversary
+	advName   string
+	advF      int
+	engine    Engine
+	seed      int64
+	maxRounds int
+	shared    any
+	inputs    [][]byte
+	err       error // first configuration error, surfaced at Run
+}
+
+// ScenarioOption configures a Scenario.
+type ScenarioOption func(*Scenario)
+
+// NewScenario assembles a scenario from options. Configuration errors
+// (unknown registry names, missing graph or protocol) are deferred and
+// returned by Run, so call sites stay a single expression. Options that
+// configure the same thing two ways — WithGraph vs WithTopology, WithAdversary
+// vs WithAdversaryName — are last-one-wins.
+func NewScenario(opts ...ScenarioOption) *Scenario {
+	s := &Scenario{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+func (s *Scenario) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// WithName labels the scenario (sweep records and error messages).
+func WithName(name string) ScenarioOption {
+	return func(s *Scenario) { s.name = name }
+}
+
+// WithGraph sets the communication topology directly, displacing any earlier
+// WithTopology.
+func WithGraph(g *Graph) ScenarioOption {
+	return func(s *Scenario) { s.g = g; s.topoName = "" }
+}
+
+// WithTopology sets the topology by registry name, displacing any earlier
+// WithGraph; k is the family's secondary parameter (0 for the family
+// default).
+func WithTopology(name string, n, k int) ScenarioOption {
+	return func(s *Scenario) {
+		s.topoName, s.topoN, s.topoK = name, n, k
+		s.g = nil
+	}
+}
+
+// WithProtocol sets the per-node protocol.
+func WithProtocol(p Protocol) ScenarioOption {
+	return func(s *Scenario) { s.proto = p }
+}
+
+// WithAdversary sets the adversary instance; nil means fault-free.
+func WithAdversary(a Adversary) ScenarioOption {
+	return func(s *Scenario) { s.adv = a; s.advName = "" }
+}
+
+// WithAdversaryName sets the adversary by registry name with per-round edge
+// strength f. The instance is built at Run time against the resolved graph,
+// seeded deterministically from the scenario seed.
+func WithAdversaryName(name string, f int) ScenarioOption {
+	return func(s *Scenario) { s.advName, s.advF = name, f; s.adv = nil }
+}
+
+// WithEngine selects the execution engine.
+func WithEngine(e Engine) ScenarioOption {
+	return func(s *Scenario) { s.engine = e }
+}
+
+// WithEngineName selects the execution engine by registry name.
+func WithEngineName(name string) ScenarioOption {
+	return func(s *Scenario) {
+		e, err := NewEngine(name)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.engine = e
+	}
+}
+
+// WithSeed sets the master seed; runs are deterministic given it.
+func WithSeed(seed int64) ScenarioOption {
+	return func(s *Scenario) { s.seed = seed }
+}
+
+// WithShared distributes a trusted preprocessing artifact to all nodes.
+func WithShared(shared any) ScenarioOption {
+	return func(s *Scenario) { s.shared = shared }
+}
+
+// WithMaxRounds bounds the run (0 keeps the engine default).
+func WithMaxRounds(r int) ScenarioOption {
+	return func(s *Scenario) { s.maxRounds = r }
+}
+
+// WithInputs sets per-node protocol inputs (nil or length N).
+func WithInputs(inputs [][]byte) ScenarioOption {
+	return func(s *Scenario) { s.inputs = inputs }
+}
+
+// Name returns the scenario's label ("" if unnamed).
+func (s *Scenario) Name() string { return s.name }
+
+// Graph resolves and returns the scenario's topology (building and caching it
+// from the registry if configured by name).
+func (s *Scenario) Graph() (*Graph, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.g == nil {
+		if s.topoName == "" {
+			return nil, errors.New("mobilecongest: scenario has no graph (use WithGraph or WithTopology)")
+		}
+		g, err := BuildTopology(s.topoName, s.topoN, s.topoK)
+		if err != nil {
+			return nil, err
+		}
+		s.g = g
+	}
+	return s.g, nil
+}
+
+// Seed returns the scenario's master seed.
+func (s *Scenario) Seed() int64 { return s.seed }
+
+// Engine returns the scenario's engine (the step engine if unset).
+func (s *Scenario) Engine() Engine {
+	if s.engine == nil {
+		return EngineStep
+	}
+	return s.engine
+}
+
+// Run resolves the scenario and executes it.
+func (s *Scenario) Run() (*Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.proto == nil {
+		return nil, errors.New("mobilecongest: scenario has no protocol (use WithProtocol)")
+	}
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	adv := s.adv
+	if adv == nil && s.advName != "" {
+		adv, err = BuildAdversary(s.advName, g, s.advF, s.seed^advSeedMix)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, runErr := s.Engine().Run(congest.Config{
+		Graph:     g,
+		Seed:      s.seed,
+		MaxRounds: s.maxRounds,
+		Adversary: adv,
+		Inputs:    s.inputs,
+		Shared:    s.shared,
+	}, s.proto)
+	if runErr != nil && s.name != "" {
+		return nil, fmt.Errorf("scenario %s: %w", s.name, runErr)
+	}
+	return res, runErr
+}

@@ -1,0 +1,200 @@
+package mobilecongest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mobilecongest/internal/algorithms"
+)
+
+func TestScenarioMinimal(t *testing.T) {
+	res, err := NewScenario(
+		WithTopology("cycle", 10, 0),
+		WithProtocol(algorithms.FloodMax(5)),
+		WithSeed(1),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if o.(uint64) != 9 {
+			t.Fatalf("node %d output %v, want 9", i, o)
+		}
+	}
+	if res.Stats.Rounds != 5 {
+		t.Fatalf("rounds = %d, want 5", res.Stats.Rounds)
+	}
+}
+
+func TestScenarioEngineSelection(t *testing.T) {
+	base := []ScenarioOption{
+		WithTopology("clique", 8, 0),
+		WithProtocol(algorithms.FloodMax(2)),
+		WithSeed(3),
+	}
+	for _, name := range EngineNames() {
+		res, err := NewScenario(append(base, WithEngineName(name))...).Run()
+		if err != nil {
+			t.Fatalf("engine %s: %v", name, err)
+		}
+		if res.Stats.Rounds != 2 {
+			t.Fatalf("engine %s: rounds = %d, want 2", name, res.Stats.Rounds)
+		}
+	}
+	if s := NewScenario(append(base, WithEngineName("warp"))...); s != nil {
+		if _, err := s.Run(); err == nil {
+			t.Fatal("unknown engine name accepted")
+		}
+	}
+}
+
+func TestScenarioDeterministicAcrossRuns(t *testing.T) {
+	mk := func() *Scenario {
+		return NewScenario(
+			WithTopology("circulant", 12, 2),
+			WithProtocol(algorithms.FloodMax(7)),
+			WithAdversaryName("flip", 2),
+			WithSeed(9),
+		)
+	}
+	r1, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats != r2.Stats || !reflect.DeepEqual(r1.Outputs, r2.Outputs) {
+		t.Fatal("identical scenarios produced different results")
+	}
+	// Re-running the SAME scenario value must also be deterministic: the
+	// registry adversary is rebuilt fresh each Run.
+	s := mk()
+	r3, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Stats != r4.Stats {
+		t.Fatal("re-running one scenario value was not deterministic")
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	if _, err := NewScenario(WithProtocol(algorithms.FloodMax(1))).Run(); err == nil {
+		t.Fatal("scenario without graph accepted")
+	}
+	if _, err := NewScenario(WithTopology("clique", 4, 0)).Run(); err == nil {
+		t.Fatal("scenario without protocol accepted")
+	}
+	if _, err := NewScenario(
+		WithTopology("nosuch", 4, 0),
+		WithProtocol(algorithms.FloodMax(1)),
+	).Run(); err == nil || !strings.Contains(err.Error(), "unknown topology") {
+		t.Fatalf("unknown topology: err = %v", err)
+	}
+	if _, err := NewScenario(
+		WithTopology("clique", 4, 0),
+		WithProtocol(algorithms.FloodMax(1)),
+		WithAdversaryName("nosuch", 1),
+	).Run(); err == nil || !strings.Contains(err.Error(), "unknown adversary") {
+		t.Fatalf("unknown adversary: err = %v", err)
+	}
+	if _, err := NewScenario(
+		WithTopology("hypercube", 12, 0), // not a power of two
+		WithProtocol(algorithms.FloodMax(1)),
+	).Run(); err == nil {
+		t.Fatal("invalid hypercube size accepted")
+	}
+}
+
+func TestScenarioOverlappingOptionsLastWins(t *testing.T) {
+	// WithGraph vs WithTopology: whichever comes last decides.
+	res, err := NewScenario(
+		WithGraph(NewClique(4)),
+		WithTopology("cycle", 10, 0),
+		WithProtocol(algorithms.FloodMax(5)),
+		WithSeed(1),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 10 {
+		t.Fatalf("topology option applied last should win: got %d nodes, want 10", len(res.Outputs))
+	}
+	res, err = NewScenario(
+		WithTopology("cycle", 10, 0),
+		WithGraph(NewClique(4)),
+		WithProtocol(algorithms.FloodMax(1)),
+		WithSeed(1),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 4 {
+		t.Fatalf("graph option applied last should win: got %d nodes, want 4", len(res.Outputs))
+	}
+	// WithAdversary vs WithAdversaryName: last wins too.
+	res, err = NewScenario(
+		WithTopology("clique", 6, 0),
+		WithProtocol(algorithms.FloodMax(2)),
+		WithAdversaryName("flip", 2),
+		WithAdversary(nil), // back to fault-free
+		WithSeed(1),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CorruptedEdgeRounds != 0 {
+		t.Fatalf("later WithAdversary(nil) should displace the named adversary: %+v", res.Stats)
+	}
+}
+
+func TestRegistryContents(t *testing.T) {
+	for _, want := range []string{"clique", "circulant", "cycle", "grid", "hypercube", "path"} {
+		if _, err := BuildTopology(want, 8, 0); err != nil {
+			t.Fatalf("builtin topology %s: %v", want, err)
+		}
+	}
+	g, err := BuildTopology("clique", 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"none", "eavesdrop", "flip", "drop", "randomize", "swap", "inject", "busiest", "static-flip", "static-eavesdrop"} {
+		if _, err := BuildAdversary(want, g, 1, 1); err != nil {
+			t.Fatalf("builtin adversary %s: %v", want, err)
+		}
+	}
+	// Custom registrations are visible.
+	RegisterTopology("test-petersen", func(_, _ int) (*Graph, error) {
+		return NewClique(10), nil
+	})
+	if _, err := BuildTopology("test-petersen", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range Topologies() {
+		if n == "test-petersen" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered topology not listed")
+	}
+}
+
+func TestDeprecatedRunWrapperStillWorks(t *testing.T) {
+	g := NewClique(5)
+	res, err := Run(RunConfig{Graph: g, Seed: 1}, algorithms.FloodMax(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", res.Stats.Rounds)
+	}
+}

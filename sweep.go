@@ -1,0 +1,227 @@
+package mobilecongest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"mobilecongest/internal/algorithms"
+)
+
+// Record is the JSON-serializable outcome of one sweep cell: the cell's
+// coordinates in the grid plus the run's statistics. Failed cells carry the
+// error instead of aborting the whole sweep. K is the requested topology
+// parameter as passed to the registry — 0 means the family's default (e.g.
+// chord distance 2 for circulants), which the builder resolves internally.
+type Record struct {
+	Name                string  `json:"name"`
+	Topology            string  `json:"topology"`
+	N                   int     `json:"n"`
+	K                   int     `json:"k"`
+	Adversary           string  `json:"adversary"`
+	F                   int     `json:"f"`
+	Engine              string  `json:"engine"`
+	Rep                 int     `json:"rep"`
+	Seed                int64   `json:"seed"`
+	Rounds              int     `json:"rounds"`
+	Messages            int     `json:"messages"`
+	Bytes               int     `json:"bytes"`
+	MaxMsgBytes         int     `json:"max_msg_bytes"`
+	MaxEdgeCongestion   int     `json:"max_edge_congestion"`
+	CorruptedEdgeRounds int     `json:"corrupted_edge_rounds"`
+	ElapsedMS           float64 `json:"elapsed_ms"`
+	Error               string  `json:"error,omitempty"`
+}
+
+// Grid is a parameter grid: the cross product of its axes defines one
+// scenario per cell. Empty axes default to a single sensible value, so a
+// zero-ish Grid still sweeps something.
+type Grid struct {
+	// Topologies are registry names (default ["clique"]).
+	Topologies []string
+	// Ns are node counts (default [16]).
+	Ns []int
+	// Ks are topology secondary parameters (default [0] = family default).
+	Ks []int
+	// Adversaries are registry names (default ["none"]).
+	Adversaries []string
+	// Fs are adversary strengths (default [1]).
+	Fs []int
+	// Engines are engine registry names (default ["step"]).
+	Engines []string
+	// Reps runs each cell this many times with distinct derived seeds
+	// (default 1).
+	Reps int
+	// BaseSeed feeds the per-cell seed derivation.
+	BaseSeed int64
+	// MaxRounds bounds each run (0 = engine default).
+	MaxRounds int
+	// Protocol builds the per-cell workload from the resolved graph. It is
+	// called once per cell, so closure-captured state is private to that
+	// cell's run; the returned Protocol must still be safe for concurrent
+	// per-node invocation, as always. Nil defaults to flooding the maximum ID
+	// for diameter+1 rounds.
+	Protocol func(g *Graph) Protocol
+}
+
+func defaulted[T any](s []T, def ...T) []T {
+	if len(s) == 0 {
+		return def
+	}
+	return s
+}
+
+// CellSeed derives the deterministic seed for a grid cell: a hash of the
+// cell's label mixed with the base seed and repetition index. It depends only
+// on the cell's coordinates, never on grid order or worker scheduling, so
+// reshaping a sweep does not reshuffle the randomness of surviving cells.
+func CellSeed(base int64, label string, rep int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return int64(uint64(base) ^ h.Sum64() ^ (uint64(rep) * 0x9e3779b97f4a7c15))
+}
+
+// cell is one expanded grid point.
+type cell struct {
+	rec      Record
+	scenario *Scenario
+}
+
+// cells expands the grid, validating every registry name up front.
+func (gr Grid) cells() ([]cell, error) {
+	topos := defaulted(gr.Topologies, "clique")
+	ns := defaulted(gr.Ns, 16)
+	ks := defaulted(gr.Ks, 0)
+	advs := defaulted(gr.Adversaries, "none")
+	fs := defaulted(gr.Fs, 1)
+	engines := defaulted(gr.Engines, EngineStep.Name())
+	reps := gr.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+
+	// Validate every registry name once, up front, so a bad grid fails before
+	// any cell is built.
+	for _, advName := range advs {
+		if !HasAdversary(advName) {
+			return nil, fmt.Errorf("mobilecongest: unknown adversary %q (have %v)", advName, Adversaries())
+		}
+	}
+	for _, engName := range engines {
+		if _, err := NewEngine(engName); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []cell
+	for _, topo := range topos {
+		for _, n := range ns {
+			for _, k := range ks {
+				g, err := BuildTopology(topo, n, k)
+				if err != nil {
+					return nil, err
+				}
+				// protoForCell is invoked once per cell so closure-captured
+				// state stays cell-private; the default workload hoists its
+				// all-pairs-BFS diameter computation to once per graph.
+				protoForCell := func() Protocol { return gr.Protocol(g) }
+				if gr.Protocol == nil {
+					rounds := g.Diameter() + 1
+					protoForCell = func() Protocol { return algorithms.FloodMax(rounds) }
+				}
+				for _, advName := range advs {
+					for _, f := range fs {
+						for _, engName := range engines {
+							for rep := 0; rep < reps; rep++ {
+								// The engine is an execution detail: it is
+								// part of the record, but deliberately NOT of
+								// the seed derivation, so the same simulation
+								// cell gets the same randomness on every
+								// engine.
+								simLabel := fmt.Sprintf("topo=%s,n=%d,k=%d,adv=%s,f=%d",
+									topo, n, k, advName, f)
+								label := fmt.Sprintf("%s,engine=%s", simLabel, engName)
+								seed := CellSeed(gr.BaseSeed, simLabel, rep)
+								out = append(out, cell{
+									rec: Record{
+										Name:      fmt.Sprintf("%s,rep=%d", label, rep),
+										Topology:  topo,
+										N:         n,
+										K:         k,
+										Adversary: advName,
+										F:         f,
+										Engine:    engName,
+										Rep:       rep,
+										Seed:      seed,
+									},
+									scenario: NewScenario(
+										WithName(label),
+										WithGraph(g),
+										WithProtocol(protoForCell()),
+										WithAdversaryName(advName, f),
+										WithEngineName(engName),
+										WithSeed(seed),
+										WithMaxRounds(gr.MaxRounds),
+									),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sweep expands the grid and runs every cell, fanning the work out across
+// GOMAXPROCS workers. The full record set is returned once the sweep
+// completes, in grid order regardless of worker scheduling; per-cell failures
+// are recorded rather than fatal, and only grid configuration errors (unknown
+// registry names, unbuildable topologies) return an error.
+func Sweep(grid Grid) ([]Record, error) {
+	cells, err := grid.cells()
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := &cells[i]
+				start := time.Now()
+				res, err := c.scenario.Run()
+				c.rec.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+				if err != nil {
+					c.rec.Error = err.Error()
+					continue
+				}
+				c.rec.Rounds = res.Stats.Rounds
+				c.rec.Messages = res.Stats.Messages
+				c.rec.Bytes = res.Stats.Bytes
+				c.rec.MaxMsgBytes = res.Stats.MaxMsgBytes
+				c.rec.MaxEdgeCongestion = res.Stats.MaxEdgeCongestion
+				c.rec.CorruptedEdgeRounds = res.Stats.CorruptedEdgeRounds
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	records := make([]Record, len(cells))
+	for i, c := range cells {
+		records[i] = c.rec
+	}
+	return records, nil
+}

@@ -1,0 +1,137 @@
+package mobilecongest
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSweepGridShapeAndDeterminism(t *testing.T) {
+	grid := Grid{
+		Topologies:  []string{"clique", "cycle"},
+		Ns:          []int{6, 8},
+		Adversaries: []string{"none", "flip"},
+		Fs:          []int{1},
+		Engines:     []string{"step"},
+		Reps:        2,
+		BaseSeed:    5,
+	}
+	recs, err := Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2 * 1 * 1 * 2; len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Error != "" {
+			t.Fatalf("cell %s failed: %s", r.Name, r.Error)
+		}
+		if r.Rounds <= 0 || r.Messages <= 0 {
+			t.Fatalf("cell %s has empty stats: %+v", r.Name, r)
+		}
+		if r.Adversary == "none" && r.CorruptedEdgeRounds != 0 {
+			t.Fatalf("fault-free cell %s reports corruption", r.Name)
+		}
+	}
+	// Per-cell seeds are deterministic and distinct across reps.
+	if recs[0].Seed == recs[1].Seed {
+		t.Fatal("reps of one cell share a seed")
+	}
+	again, err := Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		a, b := recs[i], again[i]
+		a.ElapsedMS, b.ElapsedMS = 0, 0
+		if a != b {
+			t.Fatalf("sweep not deterministic at cell %d:\n %+v\n %+v", i, a, b)
+		}
+	}
+}
+
+func TestSweepSeedsIndependentOfGridShape(t *testing.T) {
+	wide := Grid{Topologies: []string{"clique", "cycle"}, Ns: []int{6}, BaseSeed: 3}
+	narrow := Grid{Topologies: []string{"cycle"}, Ns: []int{6}, BaseSeed: 3}
+	w, err := Sweep(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Sweep(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wCycle *Record
+	for i := range w {
+		if w[i].Topology == "cycle" {
+			wCycle = &w[i]
+		}
+	}
+	if wCycle == nil || wCycle.Seed != n[0].Seed {
+		t.Fatal("cell seed changed when the grid was reshaped")
+	}
+}
+
+func TestSweepRecordsAreJSON(t *testing.T) {
+	recs, err := Sweep(Grid{Ns: []int{5}, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"topology":"clique"`) {
+		t.Fatalf("unexpected JSON: %s", b)
+	}
+}
+
+func TestSweepUnknownNamesRejectedUpfront(t *testing.T) {
+	if _, err := Sweep(Grid{Topologies: []string{"nosuch"}}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := Sweep(Grid{Adversaries: []string{"nosuch"}}); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if _, err := Sweep(Grid{Engines: []string{"warp"}}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestSweepEngineEquivalenceOnGrid(t *testing.T) {
+	// The same grid swept under both engines must produce identical
+	// simulation statistics cell-for-cell.
+	mk := func(engine string) Grid {
+		return Grid{
+			Topologies:  []string{"circulant"},
+			Ns:          []int{10, 14},
+			Adversaries: []string{"flip", "drop"},
+			Fs:          []int{1, 2},
+			Engines:     []string{engine},
+			BaseSeed:    11,
+		}
+	}
+	a, err := Sweep(mk("goroutine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(mk("step"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		// Engine name and elapsed time legitimately differ; the seed and
+		// every simulation statistic must not.
+		x, y := a[i], b[i]
+		x.Engine, y.Engine = "", ""
+		x.Name, y.Name = "", ""
+		x.ElapsedMS, y.ElapsedMS = 0, 0
+		if x != y {
+			t.Fatalf("cell %d differs across engines:\n goroutine %+v\n step      %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -35,7 +35,9 @@ func BenchmarkRun(b *testing.B) {
 		{"circulant128", mc.NewCirculant(128, 2), 32, "none"},
 		{"circulant256", mc.NewCirculant(256, 4), 16, "none"},
 		{"clique32-flip", mc.NewClique(32), 8, "flip"},
+		{"clique64-flip", mc.NewClique(64), 8, "flip"},
 		{"circulant128-flip", mc.NewCirculant(128, 2), 32, "flip"},
+		{"circulant256-flip", mc.NewCirculant(256, 4), 16, "flip"},
 	}
 	for _, engine := range mc.EngineNames() {
 		for _, c := range cases {

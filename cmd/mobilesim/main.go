@@ -18,15 +18,27 @@
 //
 //	mobilesim -sweep -topo clique,circulant -n 8,16,32 -adv none,flip -f 2
 //	mobilesim -sweep -n 64 -engine step,goroutine -reps 3 | jq .rounds
+//
+// Trace mode: -trace out.jsonl streams every simulated round as one JSON
+// line (delivered messages with base64 payloads, plus corrupted edges and a
+// per-run summary line) while the runs execute. It composes with both modes:
+// in experiment mode every simulation of the suite is traced; in sweep mode
+// every grid cell is, labeled by its cell name.
+//
+//	mobilesim -run T1 -trace t1.jsonl
+//	mobilesim -sweep -n 16 -adv flip -trace - | jq .corrupted
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	mc "mobilecongest"
 
@@ -34,31 +46,42 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	list := flag.Bool("list", false, "list experiments and registries, then exit")
-	only := flag.String("run", "", "comma-separated experiment IDs (default: all)")
-	seed := flag.Int64("seed", 42, "master random seed (sweep: base seed)")
-	engine := flag.String("engine", mc.EngineStep.Name(), "execution engine (sweep: comma-separated list)")
-	sweep := flag.Bool("sweep", false, "run a parameter sweep instead of the experiment suite")
-	topo := flag.String("topo", "clique", "sweep: comma-separated topology names")
-	ns := flag.String("n", "16", "sweep: comma-separated node counts")
-	ks := flag.String("k", "0", "sweep: comma-separated topology parameters (0 = family default)")
-	adv := flag.String("adv", "none", "sweep: comma-separated adversary names")
-	fs := flag.String("f", "1", "sweep: comma-separated adversary strengths")
-	reps := flag.Int("reps", 1, "sweep: repetitions per cell with distinct seeds")
-	maxRounds := flag.Int("maxrounds", 0, "sweep: per-run round limit (0 = engine default)")
-	flag.Parse()
+// run is the testable entry point: it parses args and writes to the given
+// streams instead of touching the process globals.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mobilesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiments and registries, then exit")
+	only := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := fs.Int64("seed", 42, "master random seed (sweep: base seed)")
+	engine := fs.String("engine", mc.EngineStep.Name(), "execution engine (sweep: comma-separated list)")
+	sweep := fs.Bool("sweep", false, "run a parameter sweep instead of the experiment suite")
+	topo := fs.String("topo", "clique", "sweep: comma-separated topology names")
+	ns := fs.String("n", "16", "sweep: comma-separated node counts")
+	ks := fs.String("k", "0", "sweep: comma-separated topology parameters (0 = family default)")
+	adv := fs.String("adv", "none", "sweep: comma-separated adversary names")
+	fstr := fs.String("f", "1", "sweep: comma-separated adversary strengths")
+	reps := fs.Int("reps", 1, "sweep: repetitions per cell with distinct seeds")
+	maxRounds := fs.Int("maxrounds", 0, "sweep: per-run round limit (0 = engine default)")
+	tracePath := fs.String("trace", "", "stream per-round traffic as JSONL to this file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	// Reject cross-mode flag mixes instead of silently ignoring them: -run
-	// belongs to experiment mode, the axis flags to sweep mode. -list
-	// overrides both modes, so any combination with it just lists.
+	// belongs to experiment mode, the axis flags to sweep mode (-trace works
+	// in both). -list overrides both modes, so any combination with it just
+	// lists.
 	if !*list {
 		sweepOnly := map[string]bool{"topo": true, "n": true, "k": true, "adv": true, "f": true, "reps": true, "maxrounds": true}
 		conflict := ""
-		flag.Visit(func(fl *flag.Flag) {
+		fs.Visit(func(fl *flag.Flag) {
 			switch {
 			case *sweep && fl.Name == "run":
 				conflict = "-run selects experiments and has no effect with -sweep"
@@ -67,41 +90,68 @@ func run() int {
 			}
 		})
 		if conflict != "" {
-			fmt.Fprintln(os.Stderr, conflict)
+			fmt.Fprintln(stderr, conflict)
 			return 2
 		}
 	}
 
 	if *list {
 		for _, e := range harness.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
-		fmt.Printf("\nengines:     %s\n", strings.Join(mc.EngineNames(), ", "))
-		fmt.Printf("topologies:  %s\n", strings.Join(mc.Topologies(), ", "))
-		fmt.Printf("adversaries: %s\n", strings.Join(mc.Adversaries(), ", "))
+		fmt.Fprintf(stdout, "\nengines:     %s\n", strings.Join(mc.EngineNames(), ", "))
+		fmt.Fprintf(stdout, "topologies:  %s\n", strings.Join(mc.Topologies(), ", "))
+		fmt.Fprintf(stdout, "adversaries: %s\n", strings.Join(mc.Adversaries(), ", "))
 		return 0
 	}
 
-	if *sweep {
-		return runSweep(sweepFlags{
-			topos: *topo, ns: *ns, ks: *ks, advs: *adv, fs: *fs,
-			engines: *engine, reps: *reps, baseSeed: *seed, maxRounds: *maxRounds,
-		})
+	var sink *traceSink
+	if *tracePath != "" {
+		sink = newTraceSink(*tracePath, stdout)
 	}
 
-	if err := harness.UseEngine(*engine); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	var code int
+	if *sweep {
+		code = runSweep(sweepFlags{
+			topos: *topo, ns: *ns, ks: *ks, advs: *adv, fs: *fstr,
+			engines: *engine, reps: *reps, baseSeed: *seed, maxRounds: *maxRounds,
+		}, sink, stdout, stderr)
+	} else {
+		code = runExperiments(*only, *seed, *engine, sink, stdout, stderr)
+	}
+	if sink != nil {
+		if err := sink.finish(); err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	return code
+}
+
+func runExperiments(only string, seed int64, engine string, sink *traceSink, stdout, stderr io.Writer) int {
+	if err := harness.UseEngine(engine); err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	if sink != nil {
+		runSeq := 0
+		harness.UseObservers(func() []mc.Observer {
+			runSeq++
+			return []mc.Observer{sink.observer(fmt.Sprintf("run%04d", runSeq))}
+		})
+		defer harness.UseObservers(nil)
+	}
 	var todo []harness.Experiment
-	if *only == "" {
+	if only == "" {
 		todo = harness.All()
 	} else {
-		for _, id := range strings.Split(*only, ",") {
+		for _, id := range strings.Split(only, ",") {
 			id = strings.TrimSpace(id)
 			e, ok := harness.Get(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", id)
 				return 2
 			}
 			todo = append(todo, e)
@@ -110,23 +160,96 @@ func run() int {
 
 	failures := 0
 	for _, e := range todo {
-		tb, err := e.Run(*seed)
+		tb, err := e.Run(seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "%s: error: %v\n", e.ID, err)
 			failures++
 			continue
 		}
-		fmt.Println(tb.Render())
+		fmt.Fprintln(stdout, tb.Render())
 		if !tb.Pass {
 			failures++
 		}
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		fmt.Fprintf(stderr, "%d experiment(s) failed\n", failures)
 		return 1
 	}
-	fmt.Printf("all %d experiments match their claims\n", len(todo))
+	fmt.Fprintf(stdout, "all %d experiments match their claims\n", len(todo))
 	return 0
+}
+
+// traceSink manages the -trace stream: it serializes Write calls from
+// concurrently-traced runs (each JSONL line is a single Write), creates the
+// file lazily on the first line (so configuration errors never clobber an
+// existing trace), and tracks every observer it hands out so write, encode,
+// and close failures — which per-run observers have no path to report — can
+// surface in the exit code at finish.
+type traceSink struct {
+	mu        sync.Mutex
+	path      string // "" means stream to stdout
+	stdout    io.Writer
+	f         *os.File
+	werr      error
+	observers []*mc.JSONLTrace
+}
+
+func newTraceSink(path string, stdout io.Writer) *traceSink {
+	s := &traceSink{path: path, stdout: stdout}
+	if path == "-" {
+		s.path = ""
+	}
+	return s
+}
+
+func (s *traceSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.stdout
+	if s.path != "" {
+		if s.f == nil && s.werr == nil {
+			s.f, s.werr = os.Create(s.path)
+		}
+		if s.werr != nil {
+			return 0, s.werr
+		}
+		w = s.f
+	}
+	n, err := w.Write(p)
+	if err != nil && s.werr == nil {
+		s.werr = err
+	}
+	return n, err
+}
+
+// observer hands out a labeled JSONL observer writing to this sink.
+func (s *traceSink) observer(label string) mc.Observer {
+	jt := mc.NewJSONLTrace(s, label)
+	s.mu.Lock()
+	s.observers = append(s.observers, jt)
+	s.mu.Unlock()
+	return jt
+}
+
+// finish closes the stream and reports the first failure anywhere in it.
+func (s *traceSink) finish() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		if err := s.f.Close(); err != nil && s.werr == nil {
+			s.werr = err
+		}
+		s.f = nil
+	}
+	if s.werr != nil {
+		return s.werr
+	}
+	for _, jt := range s.observers {
+		if err := jt.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type sweepFlags struct {
@@ -136,17 +259,17 @@ type sweepFlags struct {
 	maxRounds                        int
 }
 
-func runSweep(sf sweepFlags) int {
+func runSweep(sf sweepFlags, sink *traceSink, stdout, stderr io.Writer) int {
 	nsList, err1 := splitInts(sf.ns)
 	ksList, err2 := splitInts(sf.ks)
 	fsList, err3 := splitInts(sf.fs)
 	for _, err := range []error{err1, err2, err3} {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 	}
-	records, err := mc.Sweep(mc.Grid{
+	grid := mc.Grid{
 		Topologies:  splitNames(sf.topos),
 		Ns:          nsList,
 		Ks:          ksList,
@@ -156,24 +279,30 @@ func runSweep(sf sweepFlags) int {
 		Reps:        sf.reps,
 		BaseSeed:    sf.baseSeed,
 		MaxRounds:   sf.maxRounds,
-	})
+	}
+	if sink != nil {
+		grid.Observers = func(cellName string) []mc.Observer {
+			return []mc.Observer{sink.observer(cellName)}
+		}
+	}
+	records, err := mc.Sweep(grid)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	failed := 0
 	for _, r := range records {
 		if r.Error != "" {
 			failed++
 		}
 		if err := enc.Encode(r); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d/%d sweep cells failed\n", failed, len(records))
+		fmt.Fprintf(stderr, "%d/%d sweep cells failed\n", failed, len(records))
 		return 1
 	}
 	return 0

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestListDeterministicAndSorted locks the -list contract: repeated
+// invocations emit byte-identical output, experiment IDs come out in sorted
+// order, and every registry listing (engines, topologies, adversaries) is
+// sorted — no map-iteration order may leak into the CLI.
+func TestListDeterministicAndSorted(t *testing.T) {
+	out1, _, code := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	out2, _, _ := runCapture(t, "-list")
+	if out1 != out2 {
+		t.Fatalf("-list output not deterministic:\n%s\n---\n%s", out1, out2)
+	}
+
+	var expIDs []string
+	for _, line := range strings.Split(out1, "\n") {
+		switch {
+		case strings.HasPrefix(line, "engines:"), strings.HasPrefix(line, "topologies:"), strings.HasPrefix(line, "adversaries:"):
+			_, list, _ := strings.Cut(line, ":")
+			names := strings.Split(strings.TrimSpace(list), ", ")
+			if len(names) == 0 {
+				t.Fatalf("empty registry listing: %q", line)
+			}
+			if !sort.StringsAreSorted(names) {
+				t.Fatalf("registry listing not sorted: %q", line)
+			}
+		case line != "" && !strings.HasPrefix(line, " "):
+			expIDs = append(expIDs, strings.Fields(line)[0])
+		}
+	}
+	if len(expIDs) < 10 {
+		t.Fatalf("only %d experiments listed:\n%s", len(expIDs), out1)
+	}
+	if !sort.StringsAreSorted(expIDs) {
+		t.Fatalf("experiment IDs not sorted: %v", expIDs)
+	}
+}
+
+// TestCrossModeFlagConflicts: axis flags without -sweep, and -run with
+// -sweep, are rejected rather than silently ignored.
+func TestCrossModeFlagConflicts(t *testing.T) {
+	if _, msg, code := runCapture(t, "-n", "8"); code != 2 || !strings.Contains(msg, "sweep axis flag") {
+		t.Fatalf("axis flag without -sweep: code %d, msg %q", code, msg)
+	}
+	if _, msg, code := runCapture(t, "-sweep", "-run", "T1"); code != 2 || !strings.Contains(msg, "no effect") {
+		t.Fatalf("-run with -sweep: code %d, msg %q", code, msg)
+	}
+}
+
+// TestSweepTraceJSONL: -sweep -trace streams one valid JSON line per round
+// per cell plus one summary line per cell, labeled by cell name, while the
+// records still go to stdout.
+func TestSweepTraceJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, errb, code := runCapture(t, "-sweep", "-n", "6", "-adv", "none,flip", "-trace", path)
+	if code != 0 {
+		t.Fatalf("sweep exited %d: %s", code, errb)
+	}
+	// Records on stdout, one JSON object per line.
+	recLines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(recLines) != 2 {
+		t.Fatalf("want 2 records, got %d", len(recLines))
+	}
+	rounds := 0
+	for _, line := range recLines {
+		var rec struct {
+			Rounds int    `json:"rounds"`
+			Name   string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record not JSON: %v\n%s", err, line)
+		}
+		rounds += rec.Rounds
+	}
+	// Trace file: every line valid JSON; per-cell summary lines present.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if want := rounds + 2; len(lines) != want {
+		t.Fatalf("trace has %d lines, want %d rounds + 2 summaries", len(lines), rounds)
+	}
+	doneCells := map[string]bool{}
+	for _, line := range lines {
+		var row struct {
+			Scenario string `json:"scenario"`
+			Done     bool   `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, line)
+		}
+		if row.Scenario == "" {
+			t.Fatalf("trace line missing cell label: %s", line)
+		}
+		if row.Done {
+			doneCells[row.Scenario] = true
+		}
+	}
+	if len(doneCells) != 2 {
+		t.Fatalf("want 2 cell summaries, got %v", doneCells)
+	}
+}
+
+// TestTraceFileUntouchedOnConfigError: the trace file is created lazily on
+// the first line, so a configuration error must leave an existing file
+// exactly as it was.
+func TestTraceFileUntouchedOnConfigError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte("precious\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, code := runCapture(t, "-sweep", "-topo", "nosuch", "-trace", path)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || string(raw) != "precious\n" {
+		t.Fatalf("existing trace file clobbered: %q (err %v)", raw, err)
+	}
+}
+
+// TestTraceWriteFailureReported: a trace stream that cannot be written must
+// be reported and fail the run instead of silently exiting 0.
+func TestTraceWriteFailureReported(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing-dir", "trace.jsonl")
+	_, errb, code := runCapture(t, "-sweep", "-n", "6", "-trace", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errb)
+	}
+	if !strings.Contains(errb, "trace:") {
+		t.Fatalf("write failure not reported: %q", errb)
+	}
+}
+
+// TestExperimentTraceJSONL: -trace also works in experiment mode, labeling
+// each simulation of the suite. (T1 runs real compiled simulations; purely
+// algebraic experiments like T2 produce no trace lines.)
+func TestExperimentTraceJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t1.jsonl")
+	_, errb, code := runCapture(t, "-run", "T1", "-trace", path)
+	if code != 0 {
+		t.Fatalf("experiment exited %d: %s", code, errb)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("trace empty")
+	}
+	sawDone := false
+	for _, line := range lines {
+		var row struct {
+			Scenario string `json:"scenario"`
+			Done     bool   `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, line)
+		}
+		if !strings.HasPrefix(row.Scenario, "run") {
+			t.Fatalf("experiment trace line missing run label: %s", line)
+		}
+		sawDone = sawDone || row.Done
+	}
+	if !sawDone {
+		t.Fatal("no run summary line in experiment trace")
+	}
+}

@@ -1,6 +1,7 @@
 package mobilecongest
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -14,8 +15,10 @@ import (
 // TestEngineEquivalenceProperty is the cross-engine determinism contract: for
 // a randomized corpus of graphs, protocols, adversaries, and seeds, the
 // goroutine and step engines must yield byte-identical outputs, equal Stats,
-// and (for eavesdroppers) byte-identical adversary views. Any scheduling
-// leak in either engine — a reordered RNG draw, a miscounted round, an
+// byte-identical observer-visible traces (per-round delivered messages in
+// canonical order, payloads, and corrupted edge sets), and (for
+// eavesdroppers) byte-identical adversary views. Any scheduling leak in
+// either engine — a reordered RNG draw, a miscounted round, an
 // inbox-dependent branch — shows up here.
 func TestEngineEquivalenceProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xE9))
@@ -135,13 +138,17 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 		seed := rng.Int63()
 		label := fmt.Sprintf("trial %d: %s/%s/%s f=%d seed=%d", trial, gname, pname, aname, f, seed)
 
-		run := func(e Engine) (*Result, congest.Adversary, error) {
+		run := func(e Engine) (*Result, congest.Adversary, *TraceObserver, error) {
 			adv := mkAdv()
-			res, err := e.Run(congest.Config{Graph: g, Seed: seed, Adversary: adv, MaxRounds: 1 << 16}, proto)
-			return res, adv, err
+			tr := NewTraceObserver()
+			res, err := e.Run(congest.Config{
+				Graph: g, Seed: seed, Adversary: adv, MaxRounds: 1 << 16,
+				Observers: []congest.Observer{tr},
+			}, proto)
+			return res, adv, tr, err
 		}
-		want, wantAdv, err1 := run(EngineGoroutine)
-		got, gotAdv, err2 := run(EngineStep)
+		want, wantAdv, wantTr, err1 := run(EngineGoroutine)
+		got, gotAdv, gotTr, err2 := run(EngineStep)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("%s: errors differ: goroutine=%v step=%v", label, err1, err2)
 		}
@@ -159,6 +166,22 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 		gout := fmt.Sprintf("%#v", got.Outputs)
 		if wout != gout {
 			t.Fatalf("%s: outputs differ:\n goroutine %s\n step      %s", label, wout, gout)
+		}
+		// Observer-visible traces must be byte-identical: same rounds, same
+		// canonical message order, same payloads, same corrupted edges.
+		wtr, err := json.Marshal(wantTr.Rounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gtr, err := json.Marshal(gotTr.Rounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wtr) != string(gtr) {
+			t.Fatalf("%s: traces differ across engines:\n goroutine %s\n step      %s", label, wtr, gtr)
+		}
+		if len(wantTr.Rounds()) != want.Stats.Rounds {
+			t.Fatalf("%s: trace has %d rounds, stats say %d", label, len(wantTr.Rounds()), want.Stats.Rounds)
 		}
 		// Eavesdroppers must have seen byte-identical transcripts.
 		if we, ok := wantAdv.(*adversary.Eavesdropper); ok {

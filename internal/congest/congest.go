@@ -10,6 +10,13 @@
 // coroutine step functions on a single scheduler goroutine. Both are
 // deterministic given Config.Seed and produce identical Results.
 //
+// Internally a run moves traffic through a flat, edge-indexed round buffer
+// (see edgeLayout); the map form of a round's traffic survives as the stable
+// Traffic view, materialized lazily when an adversary or observer asks for
+// it. Run-level measurement is pluggable via the Observer pipeline
+// (Config.Observers); the engine's own statistics are a StatsObserver it
+// installs itself.
+//
 // The model is KT1: every node knows n, its own ID, and the IDs of its
 // neighbours. Nodes hold private randomness the adversary cannot see.
 package congest
@@ -71,8 +78,12 @@ func (t Traffic) SortedEdges() []graph.DirEdge {
 // budget declared through PerRoundBudget or TotalBudget.
 type Adversary interface {
 	// Intercept receives the round number and the round's traffic and
-	// returns the traffic to deliver. The input map must not be mutated;
-	// return a modified clone (or the same map if unchanged).
+	// returns the traffic to deliver. The input is read-only: neither the
+	// map nor the Msg payloads it holds may be mutated in place — messages
+	// are shared with the engine's internal round buffer, so in-place edits
+	// bypass the delivery diff and corrupt silently, outside any budget
+	// accounting. Corrupt by returning a modified clone (Traffic.Clone
+	// deep-copies payloads), or the very map received if unchanged.
 	Intercept(round int, tr Traffic) Traffic
 }
 
@@ -137,6 +148,10 @@ type Config struct {
 	Inputs [][]byte
 	// Shared is the trusted preprocessing artifact visible to all nodes.
 	Shared any
+	// Observers receive the run's round lifecycle events (see Observer).
+	// Stats are always collected internally; observers add measurement —
+	// traces, histograms, corruption logs — without touching the core.
+	Observers []Observer
 }
 
 // Stats aggregates the run's communication measures.

@@ -98,16 +98,22 @@ func (s *nodeCore) Input() []byte             { return s.input }
 func (s *nodeCore) SetOutput(v any)           { s.output = v }
 func (s *nodeCore) Shared() any               { return s.shared }
 
-// runCore holds the engine-independent run state: validated config, round
-// statistics, and the adversary budget accounting. Keeping this logic in one
-// place is what guarantees both engines count rounds, messages, and corrupted
-// edge-rounds identically.
+// runCore holds the engine-independent run state: validated config, the flat
+// edge layout with its reusable round buffers, the observer pipeline, and
+// the adversary budget accounting. Keeping this logic in one place is what
+// guarantees both engines count rounds, messages, and corrupted edge-rounds
+// identically — and fire observers at identical points with identical views.
 type runCore struct {
 	cfg       Config
 	g         *graph.Graph
 	maxRounds int
-	stats     Stats
-	edgeCong  map[graph.Edge]int
+	layout    *edgeLayout
+	cur       *roundBuffer // collection buffer for the in-flight round
+	nxt       *roundBuffer // post-adversary delivery buffer (lazily allocated)
+	observers []Observer   // internal stats observer first, then cfg.Observers
+	stats     *StatsObserver
+	round     int // completed-round counter (the engine's round clock)
+	corrupted int // total corrupted edge-rounds, for TotalBudget enforcement
 }
 
 func newRunCore(cfg Config) (*runCore, error) {
@@ -122,7 +128,17 @@ func newRunCore(cfg Config) (*runCore, error) {
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
 	}
-	return &runCore{cfg: cfg, g: g, maxRounds: maxRounds, edgeCong: make(map[graph.Edge]int)}, nil
+	layout := newEdgeLayout(g)
+	stats := NewStatsObserver()
+	return &runCore{
+		cfg:       cfg,
+		g:         g,
+		maxRounds: maxRounds,
+		layout:    layout,
+		cur:       newRoundBuffer(layout),
+		observers: append([]Observer{stats}, cfg.Observers...),
+		stats:     stats,
+	}, nil
 }
 
 // newNodeCores derives the per-node state. Node randomness is seeded from
@@ -148,17 +164,33 @@ func (c *runCore) newNodeCores() []nodeCore {
 	return cores
 }
 
+// beginRound gates the round on the limit, resets the collection buffer, and
+// fires RoundStart. When every node terminates during the subsequent
+// collection the round is abandoned, so a run's final RoundStart may have no
+// matching RoundDelivered — identically in both engines.
+func (c *runCore) beginRound() error {
+	if c.round >= c.maxRounds {
+		return fmt.Errorf("%w (limit %d)", ErrRoundLimit, c.maxRounds)
+	}
+	c.cur.reset()
+	for _, o := range c.observers {
+		o.RoundStart(c.round)
+	}
+	return nil
+}
+
 // collectOutbox validates one node's round outbox and folds it into the
-// round's traffic (nil messages send nothing).
-func (c *runCore) collectOutbox(from graph.NodeID, out map[graph.NodeID]Msg, traffic Traffic) error {
+// round's collection buffer (nil messages send nothing).
+func (c *runCore) collectOutbox(from graph.NodeID, out map[graph.NodeID]Msg) error {
 	for to, m := range out {
 		if m == nil {
 			continue
 		}
-		if !c.g.HasEdge(from, to) {
+		s := c.layout.slot(from, to)
+		if s < 0 {
 			return fmt.Errorf("congest: node %d sent to non-neighbor %d", from, to)
 		}
-		traffic[graph.DirEdge{From: from, To: to}] = m
+		c.cur.put(s, m)
 	}
 	return nil
 }
@@ -182,82 +214,127 @@ func outputs(cores []nodeCore) []any {
 }
 
 // intercept runs the adversary over the round's traffic and enforces its
-// declared budgets. The touched set is diffed against a snapshot taken before
-// Intercept, so an adversary returning the very map it was given is accounted
+// declared budgets, returning the buffer holding the delivered traffic. The
+// adversary sees the stable map view, materialized lazily from the flat
+// collection buffer; its returned map is diffed directly against the buffer
+// — the buffer IS the pre-intercept snapshot — so no per-round deep clone is
+// needed, and an adversary returning the very map it was given is accounted
 // exactly like one returning a fresh clone. Ordering matters here: the
-// per-round budget is checked on this round's touched set BEFORE it is folded
-// into Stats.CorruptedEdgeRounds, and both checks abort only on strictly
-// exceeding the budget — an adversary landing exactly on its TotalBudget is
-// within its rights and must complete the run with CorruptedEdgeRounds equal
-// to the budget.
-func (c *runCore) intercept(traffic Traffic) (Traffic, error) {
+// per-round budget is checked on this round's touched set BEFORE it is
+// folded into the total edge-round count, and both checks abort only on
+// strictly exceeding the budget — an adversary landing exactly on its
+// TotalBudget is within its rights and must complete the run with
+// CorruptedEdgeRounds equal to the budget.
+func (c *runCore) intercept() (*roundBuffer, []graph.Edge, error) {
 	if c.cfg.Adversary == nil {
-		return traffic, nil
+		return c.cur, nil, nil
 	}
-	original := traffic.Clone()
-	delivered := c.cfg.Adversary.Intercept(c.stats.Rounds, traffic)
-	touched := touchedEdges(original, delivered)
+	delivered := c.cfg.Adversary.Intercept(c.round, c.cur.materialize())
+	touched := c.touchedEdges(delivered)
 	if b, ok := c.cfg.Adversary.(PerRoundBudget); ok && len(touched) > b.PerRoundEdges() {
-		return nil, fmt.Errorf("%w: %d edges touched in round %d, budget %d",
-			ErrBudgetExceeded, len(touched), c.stats.Rounds, b.PerRoundEdges())
+		return nil, nil, fmt.Errorf("%w: %d edges touched in round %d, budget %d",
+			ErrBudgetExceeded, len(touched), c.round, b.PerRoundEdges())
 	}
-	c.stats.CorruptedEdgeRounds += len(touched)
-	if b, ok := c.cfg.Adversary.(TotalBudget); ok && c.stats.CorruptedEdgeRounds > b.TotalEdgeRounds() {
-		return nil, fmt.Errorf("%w: %d total edge-rounds, budget %d",
-			ErrBudgetExceeded, c.stats.CorruptedEdgeRounds, b.TotalEdgeRounds())
+	c.corrupted += len(touched)
+	if b, ok := c.cfg.Adversary.(TotalBudget); ok && c.corrupted > b.TotalEdgeRounds() {
+		return nil, nil, fmt.Errorf("%w: %d total edge-rounds, budget %d",
+			ErrBudgetExceeded, c.corrupted, b.TotalEdgeRounds())
 	}
-	return delivered, nil
+	if len(touched) == 0 {
+		// Byte-identical traffic: the collection buffer IS the delivered
+		// round; skip the load entirely.
+		return c.cur, nil, nil
+	}
+	if c.nxt == nil {
+		c.nxt = newRoundBuffer(c.layout)
+	}
+	if err := c.nxt.loadFrom(delivered); err != nil {
+		return nil, nil, err
+	}
+	return c.nxt, touched, nil
 }
 
-// deliver validates the post-adversary traffic, accumulates the round's
-// statistics, and sorts messages into per-node inboxes (allocated lazily into
-// the caller's slice, which must arrive nil-filled).
-func (c *runCore) deliver(delivered Traffic, inboxes []map[graph.NodeID]Msg) error {
-	for de, m := range delivered {
-		if !c.g.HasEdge(de.From, de.To) {
-			return fmt.Errorf("congest: adversary injected on non-edge (%d,%d)", de.From, de.To)
-		}
-		c.stats.Messages++
-		c.stats.Bytes += len(m)
-		if len(m) > c.stats.MaxMsgBytes {
-			c.stats.MaxMsgBytes = len(m)
-		}
-		c.edgeCong[de.Undirected()]++
+// endRound runs the round's adversary boundary and delivery: intercept with
+// budget enforcement, inbox fan-out (allocated lazily into the caller's
+// slice, which must arrive nil-filled), observer notification, and the round
+// clock tick.
+func (c *runCore) endRound(inboxes []map[graph.NodeID]Msg) error {
+	buf, corrupted, err := c.intercept()
+	if err != nil {
+		return err
+	}
+	buf.sortTouched()
+	for _, s := range buf.touched {
+		de := buf.layout.dirEdges[s]
 		if inboxes[de.To] == nil {
 			inboxes[de.To] = make(map[graph.NodeID]Msg)
 		}
-		inboxes[de.To][de.From] = m
+		inboxes[de.To][de.From] = buf.msgs[s]
 	}
+	view := &RoundView{buf: buf, corrupted: corrupted}
+	for _, o := range c.observers {
+		o.RoundDelivered(c.round, view)
+	}
+	c.round++
 	return nil
 }
 
-// finish folds the congestion map into the stats and assembles the Result.
+// finish assembles the Result from the internal stats observer.
 func (c *runCore) finish(outputs []any) *Result {
-	for _, cong := range c.edgeCong {
-		if cong > c.stats.MaxEdgeCongestion {
-			c.stats.MaxEdgeCongestion = cong
-		}
-	}
-	return &Result{Stats: c.stats, Outputs: outputs}
+	return &Result{Stats: c.stats.Stats(), Outputs: outputs}
 }
 
-// touchedEdges returns the undirected edges whose traffic differs between
-// the original and delivered maps (modified, dropped, or injected).
-func touchedEdges(original, delivered Traffic) map[graph.Edge]bool {
-	touched := make(map[graph.Edge]bool)
-	for de, m := range original {
-		d, ok := delivered[de]
-		if !ok || !msgEqual(m, d) {
-			touched[de.Undirected()] = true
+// runDone notifies every observer that the run ended, successfully or not.
+// Engines call it on every exit path, exactly once per run.
+func (c *runCore) runDone(err error) {
+	st := c.stats.Stats()
+	for _, o := range c.observers {
+		o.RunDone(st, err)
+	}
+}
+
+// touchedEdges diffs the adversary's returned map against the collection
+// buffer, returning the sorted undirected edges whose traffic differs —
+// modified, dropped, or injected (including injections on non-edges, which
+// the subsequent load rejects, after the budget verdict).
+func (c *runCore) touchedEdges(delivered Traffic) []graph.Edge {
+	var touched map[graph.Edge]bool
+	mark := func(e graph.Edge) {
+		if touched == nil {
+			touched = make(map[graph.Edge]bool)
+		}
+		touched[e] = true
+	}
+	for _, s := range c.cur.touched {
+		de := c.layout.dirEdges[s]
+		if d, ok := delivered[de]; !ok || !msgEqual(c.cur.msgs[s], d) {
+			mark(de.Undirected())
 		}
 	}
 	for de, d := range delivered {
-		o, ok := original[de]
-		if !ok || !msgEqual(o, d) {
-			touched[de.Undirected()] = true
+		s := c.layout.slot(de.From, de.To)
+		if s < 0 {
+			mark(de.Undirected())
+			continue
+		}
+		if o := c.cur.msgs[s]; o == nil || !msgEqual(o, d) {
+			mark(de.Undirected())
 		}
 	}
-	return touched
+	if len(touched) == 0 {
+		return nil
+	}
+	edges := make([]graph.Edge, 0, len(touched))
+	for e := range touched {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
 }
 
 func msgEqual(a, b Msg) bool {

@@ -1,8 +1,6 @@
 package congest
 
 import (
-	"fmt"
-
 	"mobilecongest/internal/graph"
 )
 
@@ -49,11 +47,12 @@ func (s *goroutineNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg 
 }
 
 // Run implements Engine.
-func (GoroutineEngine) Run(cfg Config, proto Protocol) (*Result, error) {
+func (GoroutineEngine) Run(cfg Config, proto Protocol) (res *Result, err error) {
 	core, err := newRunCore(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer func() { core.runDone(err) }()
 	g := core.g
 	abort := make(chan struct{})
 	cores := core.newNodeCores()
@@ -94,21 +93,21 @@ func (GoroutineEngine) Run(cfg Config, proto Protocol) (*Result, error) {
 		}
 	}
 
+	inboxes := make([]map[graph.NodeID]Msg, g.N())
 	for nActive > 0 {
-		if core.stats.Rounds >= core.maxRounds {
+		if err := core.beginRound(); err != nil {
 			abortAll()
-			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, core.maxRounds)
+			return nil, err
 		}
 		// Collect the round's outboxes; a node either exchanges or
 		// terminates this round.
-		traffic := make(Traffic)
 		for i, s := range nodes {
 			if !active[i] {
 				continue
 			}
 			select {
 			case out := <-s.outCh:
-				if err := core.collectOutbox(s.id, out, traffic); err != nil {
+				if err := core.collectOutbox(s.id, out); err != nil {
 					abortAll()
 					return nil, err
 				}
@@ -121,14 +120,10 @@ func (GoroutineEngine) Run(cfg Config, proto Protocol) (*Result, error) {
 			break
 		}
 
-		delivered, err := core.intercept(traffic)
-		if err != nil {
-			abortAll()
-			return nil, err
+		for i := range inboxes {
+			inboxes[i] = nil
 		}
-
-		inboxes := make([]map[graph.NodeID]Msg, g.N())
-		if err := core.deliver(delivered, inboxes); err != nil {
+		if err := core.endRound(inboxes); err != nil {
 			abortAll()
 			return nil, err
 		}
@@ -138,7 +133,6 @@ func (GoroutineEngine) Run(cfg Config, proto Protocol) (*Result, error) {
 			}
 			s.inCh <- inboxOrEmpty(inboxes[i])
 		}
-		core.stats.Rounds++
 	}
 
 	return core.finish(outputs(cores)), nil

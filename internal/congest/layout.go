@@ -1,0 +1,151 @@
+package congest
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"mobilecongest/internal/graph"
+)
+
+// The flat traffic representation: instead of allocating a fresh
+// map[graph.DirEdge]Msg per round, a run precomputes a dense DirEdge -> slot
+// layout from the graph once and moves every round's traffic through
+// reusable slot-indexed slabs. The map form survives only as the stable
+// adversary- and observer-facing view, materialized lazily from a buffer
+// when something actually asks for it.
+
+// edgeLayout is the per-run dense indexing of a graph's directed edges, in
+// CSR form: the slots of messages leaving node u are the contiguous range
+// rowStart[u]..rowStart[u+1], ordered by destination ID (adjacency lists are
+// sorted). Slot order is therefore ascending (From, To) — the canonical
+// deterministic traffic order shared by both engines and every observer.
+type edgeLayout struct {
+	g        *graph.Graph
+	rowStart []int32         // len n+1; CSR offsets into the slot space
+	dirEdges []graph.DirEdge // slot -> directed edge
+	undir    []int32         // slot -> index of the undirected edge in g.Edges()
+}
+
+func newEdgeLayout(g *graph.Graph) *edgeLayout {
+	n := g.N()
+	l := &edgeLayout{g: g, rowStart: make([]int32, n+1)}
+	for u := 0; u < n; u++ {
+		l.rowStart[u+1] = l.rowStart[u] + int32(g.Degree(graph.NodeID(u)))
+	}
+	slots := int(l.rowStart[n])
+	l.dirEdges = make([]graph.DirEdge, slots)
+	l.undir = make([]int32, slots)
+	for u := 0; u < n; u++ {
+		from := graph.NodeID(u)
+		base := l.rowStart[u]
+		for j, to := range g.Neighbors(from) {
+			s := base + int32(j)
+			l.dirEdges[s] = graph.DirEdge{From: from, To: to}
+			l.undir[s] = int32(g.EdgeIndex(from, to))
+		}
+	}
+	return l
+}
+
+// slots returns the number of directed-edge slots (2M).
+func (l *edgeLayout) slots() int { return len(l.dirEdges) }
+
+// slot returns the dense index of the directed edge from->to, or -1 when the
+// pair is not an edge of the graph (including out-of-range endpoints, which
+// adversaries are free to inject).
+func (l *edgeLayout) slot(from, to graph.NodeID) int32 {
+	if int(from) < 0 || int(from) >= l.g.N() {
+		return -1
+	}
+	nbs := l.g.Neighbors(from)
+	i := sort.Search(len(nbs), func(i int) bool { return nbs[i] >= to })
+	if i == len(nbs) || nbs[i] != to {
+		return -1
+	}
+	return l.rowStart[from] + int32(i)
+}
+
+// roundBuffer holds one round's directed traffic as a slot-indexed Msg slab.
+// A run reuses its buffers across rounds (the engine double-buffers: one for
+// collection, one for the post-adversary delivered traffic), so the per-round
+// cost is clearing the touched slots, not reallocating the round.
+type roundBuffer struct {
+	layout  *edgeLayout
+	msgs    []Msg   // slot-indexed; nil means the edge is silent this round
+	touched []int32 // occupied slots, insertion-ordered until sortTouched
+	sorted  bool
+	view    Traffic // cached lazy map materialization for this round
+}
+
+func newRoundBuffer(l *edgeLayout) *roundBuffer {
+	return &roundBuffer{layout: l, msgs: make([]Msg, l.slots()), sorted: true}
+}
+
+// reset clears the buffer for reuse. Occupied slots are nilled individually
+// (cheaper than wiping the slab, and it releases the protocol-allocated
+// payloads so they do not outlive their round on the engine side). The
+// cached map view is dropped, never reused: the adversary may retain it.
+func (b *roundBuffer) reset() {
+	for _, s := range b.touched {
+		b.msgs[s] = nil
+	}
+	b.touched = b.touched[:0]
+	b.sorted = true
+	b.view = nil
+}
+
+// put records the non-nil message m on slot s. The engine writes each slot at
+// most once per round (outboxes are maps, and per-sender slot ranges are
+// disjoint), but double writes stay correct: the slot is tracked once.
+func (b *roundBuffer) put(s int32, m Msg) {
+	if b.msgs[s] == nil {
+		b.touched = append(b.touched, s)
+		b.sorted = false
+	}
+	b.msgs[s] = m
+}
+
+// len returns the number of messages in the buffer.
+func (b *roundBuffer) len() int { return len(b.touched) }
+
+// sortTouched brings the occupied slots into canonical ascending order.
+func (b *roundBuffer) sortTouched() {
+	if !b.sorted {
+		slices.Sort(b.touched)
+		b.sorted = true
+	}
+}
+
+// materialize returns (and caches) the Traffic map view of the buffer — the
+// stable adversary-facing representation. Messages are shared, not copied;
+// callers must treat the map as read-only (adversaries return a modified
+// clone instead, per the Adversary contract).
+func (b *roundBuffer) materialize() Traffic {
+	if b.view == nil {
+		tr := make(Traffic, len(b.touched))
+		for _, s := range b.touched {
+			tr[b.layout.dirEdges[s]] = b.msgs[s]
+		}
+		b.view = tr
+	}
+	return b.view
+}
+
+// loadFrom refills the buffer from a traffic map (the adversary's delivered
+// view), validating every entry against the layout. Explicit nil entries are
+// normalized to empty messages so slot occupancy mirrors map presence.
+func (b *roundBuffer) loadFrom(tr Traffic) error {
+	b.reset()
+	for de, m := range tr {
+		s := b.layout.slot(de.From, de.To)
+		if s < 0 {
+			return fmt.Errorf("congest: adversary injected on non-edge (%d,%d)", de.From, de.To)
+		}
+		if m == nil {
+			m = Msg{}
+		}
+		b.put(s, m)
+	}
+	return nil
+}

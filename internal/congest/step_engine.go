@@ -1,7 +1,6 @@
 package congest
 
 import (
-	"fmt"
 	"iter"
 
 	"mobilecongest/internal/graph"
@@ -12,11 +11,9 @@ import (
 // Exchange parks the node by yielding its outbox slot and resumes with the
 // inbox slot filled in. Compared to GoroutineEngine this removes the two
 // channel handoffs and the scheduler wakeup per node per round — the
-// coroutine switch is a direct handoff — and lets the engine reuse its
-// round-traffic map instead of reallocating it every round. Semantics are
-// identical: nodes still interact only at the Exchange barrier, so any
-// protocol that is deterministic under GoroutineEngine produces a
-// byte-identical Result here.
+// coroutine switch is a direct handoff. Semantics are identical: nodes still
+// interact only at the Exchange barrier, so any protocol that is
+// deterministic under GoroutineEngine produces a byte-identical Result here.
 type StepEngine struct{}
 
 // Name implements Engine.
@@ -54,11 +51,12 @@ func (s *stepNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
 }
 
 // Run implements Engine.
-func (StepEngine) Run(cfg Config, proto Protocol) (*Result, error) {
+func (StepEngine) Run(cfg Config, proto Protocol) (res *Result, err error) {
 	core, err := newRunCore(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer func() { core.runDone(err) }()
 	g := core.g
 	cores := core.newNodeCores()
 	nodes := make([]*stepNode, g.N())
@@ -86,25 +84,15 @@ func (StepEngine) Run(cfg Config, proto Protocol) (*Result, error) {
 	}()
 
 	nActive := g.N()
-	// With no adversary the round-traffic map is engine-private, so it can be
-	// cleared and reused; an adversary may retain the map it was handed, so
-	// each round gets a fresh one then.
-	reuseTraffic := cfg.Adversary == nil
-	traffic := make(Traffic)
 	inboxes := make([]map[graph.NodeID]Msg, g.N())
 
 	for nActive > 0 {
-		if core.stats.Rounds >= core.maxRounds {
-			return nil, fmt.Errorf("%w (limit %d)", ErrRoundLimit, core.maxRounds)
+		if err := core.beginRound(); err != nil {
+			return nil, err
 		}
 		// Step each node to its next Exchange (collecting its outbox) or to
 		// termination — same node order as the goroutine engine's collection
 		// loop.
-		if reuseTraffic {
-			clear(traffic)
-		} else {
-			traffic = make(Traffic)
-		}
 		for _, s := range nodes {
 			if s.done {
 				continue
@@ -115,7 +103,7 @@ func (StepEngine) Run(cfg Config, proto Protocol) (*Result, error) {
 				nActive--
 				continue
 			}
-			if err := core.collectOutbox(s.id, s.out, traffic); err != nil {
+			if err := core.collectOutbox(s.id, s.out); err != nil {
 				return nil, err
 			}
 		}
@@ -123,15 +111,10 @@ func (StepEngine) Run(cfg Config, proto Protocol) (*Result, error) {
 			break
 		}
 
-		delivered, err := core.intercept(traffic)
-		if err != nil {
-			return nil, err
-		}
-
 		for i := range inboxes {
 			inboxes[i] = nil
 		}
-		if err := core.deliver(delivered, inboxes); err != nil {
+		if err := core.endRound(inboxes); err != nil {
 			return nil, err
 		}
 		for i, s := range nodes {
@@ -140,7 +123,6 @@ func (StepEngine) Run(cfg Config, proto Protocol) (*Result, error) {
 			}
 			s.in = inboxOrEmpty(inboxes[i])
 		}
-		core.stats.Rounds++
 	}
 
 	return core.finish(outputs(cores)), nil

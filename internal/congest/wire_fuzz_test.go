@@ -1,0 +1,105 @@
+package congest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Fuzz coverage for the wire codec: the round-trip laws PutU64/U64 and
+// PutU32/U32, the zero-padding contract on short/corrupt buffers (decoders
+// must never panic — adversaries hand protocols arbitrary bytes), and
+// Words64's exact split/pad behaviour.
+
+func FuzzU64RoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(0x1122334455667788))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, v uint64) {
+		b := PutU64(nil, v)
+		if len(b) != 8 {
+			t.Fatalf("PutU64 wrote %d bytes", len(b))
+		}
+		if got := U64(b); got != v {
+			t.Fatalf("U64(PutU64(%#x)) = %#x", v, got)
+		}
+		// Appending must not disturb the prefix, and decoding ignores bytes
+		// past the word.
+		pre := PutU64([]byte{0xAB, 0xCD}, v)
+		if got := U64(pre[2:]); got != v {
+			t.Fatalf("append-position round trip: %#x != %#x", got, v)
+		}
+		if got := U64(append(b, 0xFF, 0xFF)); got != v {
+			t.Fatalf("trailing bytes changed the decode: %#x != %#x", got, v)
+		}
+	})
+}
+
+func FuzzU32RoundTrip(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xdeadbeef))
+	f.Add(^uint32(0))
+	f.Fuzz(func(t *testing.T, v uint32) {
+		b := PutU32(nil, v)
+		if len(b) != 4 {
+			t.Fatalf("PutU32 wrote %d bytes", len(b))
+		}
+		if got := U32(b); got != v {
+			t.Fatalf("U32(PutU32(%#x)) = %#x", v, got)
+		}
+		pre := PutU32([]byte{0x01}, v)
+		if got := U32(pre[1:]); got != v {
+			t.Fatalf("append-position round trip: %#x != %#x", got, v)
+		}
+	})
+}
+
+// FuzzUintShortRead: arbitrary (short, corrupt, oversized) buffers decode
+// without panicking, and short reads behave exactly like the buffer
+// zero-padded to word length.
+func FuzzUintShortRead(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x11})
+	f.Add([]byte{0x11, 0x22, 0x33})
+	f.Add(bytes.Repeat([]byte{0xFF}, 16))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var pad8 [8]byte
+		copy(pad8[:], raw)
+		if got, want := U64(raw), binary.BigEndian.Uint64(pad8[:]); got != want {
+			t.Fatalf("U64(%x) = %#x, want zero-padded %#x", raw, got, want)
+		}
+		var pad4 [4]byte
+		copy(pad4[:], raw)
+		if got, want := U32(raw), binary.BigEndian.Uint32(pad4[:]); got != want {
+			t.Fatalf("U32(%x) = %#x, want zero-padded %#x", raw, got, want)
+		}
+	})
+}
+
+// FuzzWords64RoundTrip: the word split covers the message exactly, the tail
+// word is zero-padded, and re-encoding the words reproduces the original
+// bytes (plus zero padding).
+func FuzzWords64RoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(bytes.Repeat([]byte{0xA5}, 24))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		words := Words64(Msg(raw))
+		if want := (len(raw) + 7) / 8; len(words) != want {
+			t.Fatalf("Words64 split %d bytes into %d words, want %d", len(raw), len(words), want)
+		}
+		var back []byte
+		for _, w := range words {
+			back = PutU64(back, w)
+		}
+		if !bytes.Equal(back[:len(raw)], raw) {
+			t.Fatalf("re-encoded words differ from input:\n %x\n %x", back[:len(raw)], raw)
+		}
+		for i, b := range back[len(raw):] {
+			if b != 0 {
+				t.Fatalf("padding byte %d is %#x, want 0", i, b)
+			}
+		}
+	})
+}

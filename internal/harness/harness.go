@@ -39,10 +39,23 @@ func currentEngine() mc.Engine {
 	return e
 }
 
-// runScenario executes one simulation on the harness-wide engine. It is the
-// single funnel every experiment's runs go through.
+// observe, when non-nil, builds fresh observers for every simulation the
+// harness runs; cmd/mobilesim wires its -trace flag here.
+var observe func() []mc.Observer
+
+// UseObservers installs a per-run observer factory for all experiments (nil
+// disables). Observers are per-run state, so the factory is invoked once per
+// simulation and its results attached to that run only.
+func UseObservers(factory func() []mc.Observer) { observe = factory }
+
+// runScenario executes one simulation on the harness-wide engine, with the
+// harness-wide observers attached. It is the single funnel every
+// experiment's runs go through.
 func runScenario(proto mc.Protocol, opts ...mc.ScenarioOption) (*mc.Result, error) {
 	opts = append(opts, mc.WithProtocol(proto), mc.WithEngineName(engineName))
+	if observe != nil {
+		opts = append(opts, mc.WithObserver(observe()...))
+	}
 	return mc.NewScenario(opts...).Run()
 }
 

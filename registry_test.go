@@ -1,0 +1,30 @@
+package mobilecongest
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestRegistryListingsSortedAndDeterministic locks the listing contract the
+// CLI's -list output builds on: every name listing is sorted and repeated
+// calls return identical slices — map-iteration order must never leak.
+func TestRegistryListingsSortedAndDeterministic(t *testing.T) {
+	listings := map[string]func() []string{
+		"engines":     EngineNames,
+		"topologies":  Topologies,
+		"adversaries": Adversaries,
+	}
+	for name, list := range listings {
+		got := list()
+		if len(got) == 0 {
+			t.Errorf("%s listing is empty", name)
+		}
+		if !sort.StringsAreSorted(got) {
+			t.Errorf("%s listing not sorted: %v", name, got)
+		}
+		if again := list(); !reflect.DeepEqual(got, again) {
+			t.Errorf("%s listing not deterministic: %v vs %v", name, got, again)
+		}
+	}
+}

@@ -53,6 +53,7 @@ type Scenario struct {
 	maxRounds int
 	shared    any
 	inputs    [][]byte
+	observers []Observer
 	err       error // first configuration error, surfaced at Run
 }
 
@@ -153,6 +154,14 @@ func WithInputs(inputs [][]byte) ScenarioOption {
 	return func(s *Scenario) { s.inputs = inputs }
 }
 
+// WithObserver attaches observers to the run; they receive the round
+// lifecycle events of the Observer pipeline (RoundStart, RoundDelivered,
+// RunDone). Repeated options accumulate. Observers are per-run state: build
+// fresh ones for every scenario rather than sharing them across runs.
+func WithObserver(obs ...Observer) ScenarioOption {
+	return func(s *Scenario) { s.observers = append(s.observers, obs...) }
+}
+
 // Name returns the scenario's label ("" if unnamed).
 func (s *Scenario) Name() string { return s.name }
 
@@ -212,6 +221,7 @@ func (s *Scenario) Run() (*Result, error) {
 		Adversary: adv,
 		Inputs:    s.inputs,
 		Shared:    s.shared,
+		Observers: s.observers,
 	}, s.proto)
 	if runErr != nil && s.name != "" {
 		return nil, fmt.Errorf("scenario %s: %w", s.name, runErr)

@@ -33,6 +33,9 @@ type Record struct {
 	CorruptedEdgeRounds int     `json:"corrupted_edge_rounds"`
 	ElapsedMS           float64 `json:"elapsed_ms"`
 	Error               string  `json:"error,omitempty"`
+	// Trace is the cell's full per-round delivered-traffic trace, captured
+	// only when Grid.CaptureTrace is set (payloads base64 in JSON).
+	Trace []RoundTrace `json:"trace,omitempty"`
 }
 
 // Grid is a parameter grid: the cross product of its axes defines one
@@ -64,6 +67,15 @@ type Grid struct {
 	// per-node invocation, as always. Nil defaults to flooding the maximum ID
 	// for diameter+1 rounds.
 	Protocol func(g *Graph) Protocol
+	// CaptureTrace attaches a TraceObserver to every cell and stores the
+	// captured rounds in the cell's Record.Trace. Traces hold full payloads;
+	// budget accordingly on large grids.
+	CaptureTrace bool
+	// Observers, when non-nil, builds extra per-cell observers; it is called
+	// once per cell with the cell's Record.Name. Cells run concurrently, so
+	// anything the returned observers share (e.g. a writer) must tolerate
+	// that — see NewJSONLTrace.
+	Observers func(cellName string) []Observer
 }
 
 func defaulted[T any](s []T, def ...T) []T {
@@ -87,6 +99,7 @@ func CellSeed(base int64, label string, rep int) int64 {
 type cell struct {
 	rec      Record
 	scenario *Scenario
+	trace    *TraceObserver // non-nil when the grid captures traces
 }
 
 // cells expands the grid, validating every registry name up front.
@@ -144,9 +157,21 @@ func (gr Grid) cells() ([]cell, error) {
 									topo, n, k, advName, f)
 								label := fmt.Sprintf("%s,engine=%s", simLabel, engName)
 								seed := CellSeed(gr.BaseSeed, simLabel, rep)
+								name := fmt.Sprintf("%s,rep=%d", label, rep)
+								// Observers are per-run state, so every cell
+								// gets its own instances.
+								var obs []Observer
+								if gr.Observers != nil {
+									obs = gr.Observers(name)
+								}
+								var tr *TraceObserver
+								if gr.CaptureTrace {
+									tr = NewTraceObserver()
+									obs = append(obs, tr)
+								}
 								out = append(out, cell{
 									rec: Record{
-										Name:      fmt.Sprintf("%s,rep=%d", label, rep),
+										Name:      name,
 										Topology:  topo,
 										N:         n,
 										K:         k,
@@ -164,7 +189,9 @@ func (gr Grid) cells() ([]cell, error) {
 										WithEngineName(engName),
 										WithSeed(seed),
 										WithMaxRounds(gr.MaxRounds),
+										WithObserver(obs...),
 									),
+									trace: tr,
 								})
 							}
 						}
@@ -211,6 +238,9 @@ func Sweep(grid Grid) ([]Record, error) {
 				c.rec.MaxMsgBytes = res.Stats.MaxMsgBytes
 				c.rec.MaxEdgeCongestion = res.Stats.MaxEdgeCongestion
 				c.rec.CorruptedEdgeRounds = res.Stats.CorruptedEdgeRounds
+				if c.trace != nil {
+					c.rec.Trace = c.trace.Rounds()
+				}
 			}
 		}()
 	}

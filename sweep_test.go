@@ -2,6 +2,7 @@ package mobilecongest
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -45,7 +46,7 @@ func TestSweepGridShapeAndDeterminism(t *testing.T) {
 	for i := range recs {
 		a, b := recs[i], again[i]
 		a.ElapsedMS, b.ElapsedMS = 0, 0
-		if a != b {
+		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("sweep not deterministic at cell %d:\n %+v\n %+v", i, a, b)
 		}
 	}
@@ -101,15 +102,18 @@ func TestSweepUnknownNamesRejectedUpfront(t *testing.T) {
 
 func TestSweepEngineEquivalenceOnGrid(t *testing.T) {
 	// The same grid swept under both engines must produce identical
-	// simulation statistics cell-for-cell.
+	// simulation statistics cell-for-cell — and, with trace capture on,
+	// identical per-round delivered-traffic traces (message order, payloads,
+	// corrupted edge sets).
 	mk := func(engine string) Grid {
 		return Grid{
-			Topologies:  []string{"circulant"},
-			Ns:          []int{10, 14},
-			Adversaries: []string{"flip", "drop"},
-			Fs:          []int{1, 2},
-			Engines:     []string{engine},
-			BaseSeed:    11,
+			Topologies:   []string{"circulant"},
+			Ns:           []int{10, 14},
+			Adversaries:  []string{"flip", "drop"},
+			Fs:           []int{1, 2},
+			Engines:      []string{engine},
+			BaseSeed:     11,
+			CaptureTrace: true,
 		}
 	}
 	a, err := Sweep(mk("goroutine"))
@@ -124,13 +128,16 @@ func TestSweepEngineEquivalenceOnGrid(t *testing.T) {
 		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		// Engine name and elapsed time legitimately differ; the seed and
-		// every simulation statistic must not.
+		// Engine name and elapsed time legitimately differ; the seed, every
+		// simulation statistic, and the full trace must not.
 		x, y := a[i], b[i]
+		if len(x.Trace) == 0 || len(x.Trace) != x.Rounds {
+			t.Fatalf("cell %s: trace has %d rounds, stats say %d", x.Name, len(x.Trace), x.Rounds)
+		}
 		x.Engine, y.Engine = "", ""
 		x.Name, y.Name = "", ""
 		x.ElapsedMS, y.ElapsedMS = 0, 0
-		if x != y {
+		if !reflect.DeepEqual(x, y) {
 			t.Fatalf("cell %d differs across engines:\n goroutine %+v\n step      %+v", i, a[i], b[i])
 		}
 	}

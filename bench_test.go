@@ -16,13 +16,17 @@ import (
 
 	"mobilecongest/internal/algorithms"
 	"mobilecongest/internal/harness"
+	"mobilecongest/internal/resilient"
 )
 
 // BenchmarkRun races the execution engines head-to-head on raw simulation
 // throughput: FloodMax (every node talks to every neighbour every round) over
-// clique and circulant topologies, fault-free and under a mobile byzantine
-// flip adversary. This isolates engine overhead — channel handoffs and
-// scheduler wakeups versus coroutine steps — from experiment logic.
+// clique, circulant, and expander topologies, fault-free and under mobile
+// adversaries (byzantine flip and eavesdropper). This isolates engine and
+// adversary-boundary overhead — channel handoffs, scheduler wakeups, and
+// per-round traffic materialization — from experiment logic. The large
+// adversarial cases (circulant1024-flip, expander512-eavesdrop) stress the
+// slot-native adversary path at scale.
 func BenchmarkRun(b *testing.B) {
 	cases := []struct {
 		name   string
@@ -38,6 +42,8 @@ func BenchmarkRun(b *testing.B) {
 		{"clique64-flip", mc.NewClique(64), 8, "flip"},
 		{"circulant128-flip", mc.NewCirculant(128, 2), 32, "flip"},
 		{"circulant256-flip", mc.NewCirculant(256, 4), 16, "flip"},
+		{"circulant1024-flip", mc.NewCirculant(1024, 4), 16, "flip"},
+		{"expander512-eavesdrop", resilient.RandomExpander(512, 8, 11), 16, "eavesdrop"},
 	}
 	for _, engine := range mc.EngineNames() {
 		for _, c := range cases {

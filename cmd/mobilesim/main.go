@@ -14,7 +14,8 @@
 //
 // Sweep mode: -sweep expands a parameter grid (cross product of the axis
 // flags), fans the cells out across GOMAXPROCS workers with deterministic
-// per-cell seeds, and emits one JSON record per line on stdout.
+// per-cell seeds (each worker reusing one run context across its cells), and
+// emits one JSON record per line on stdout.
 //
 //	mobilesim -sweep -topo clique,circulant -n 8,16,32 -adv none,flip -f 2
 //	mobilesim -sweep -n 64 -engine step,goroutine -reps 3 | jq .rounds

@@ -20,6 +20,13 @@ import (
 // eavesdroppers) byte-identical adversary views. Any scheduling leak in
 // either engine — a reordered RNG draw, a miscounted round, an
 // inbox-dependent branch — shows up here.
+//
+// Every trial with an adversary additionally runs a third leg: the same
+// parameters through a map-based mirror of the adversary (replicating the
+// pre-slot Traffic implementation) behind the AdaptTraffic compat adapter.
+// The slot-native and map paths must produce byte-identical Results,
+// eavesdropper views, and observer traces — the regression contract for the
+// slot port of internal/adversary and for the adapter itself.
 func TestEngineEquivalenceProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xE9))
 	const trials = 120
@@ -94,37 +101,83 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 
 	// Each adversary family builds a FRESH instance per engine run (they are
 	// stateful) from the same parameters, so both engines face an identical
-	// opponent.
-	advFams := []func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary){
-		func(*graph.Graph, int, int64) (string, func() congest.Adversary) {
-			return "none", func() congest.Adversary { return nil }
+	// opponent. mkMap builds the map-based mirror of the same adversary for
+	// the compat-adapter leg (nil for the fault-free family).
+	type advFamily struct {
+		name  string
+		mk    func() congest.Adversary
+		mkMap func() congest.Adversary
+	}
+	advFams := []func(g *graph.Graph, f int, seed int64) advFamily{
+		func(*graph.Graph, int, int64) advFamily {
+			return advFamily{name: "none", mk: func() congest.Adversary { return nil }}
 		},
-		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
-			return "eavesdrop", func() congest.Adversary { return adversary.NewMobileEavesdropper(g, f, seed) }
-		},
-		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
-			return "flip", func() congest.Adversary {
-				return adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptFlip)
+		func(g *graph.Graph, f int, seed int64) advFamily {
+			return advFamily{
+				name: "eavesdrop",
+				mk:   func() congest.Adversary { return adversary.NewMobileEavesdropper(g, f, seed) },
+				mkMap: func() congest.Adversary {
+					return congest.AdaptTraffic(&mapEavesdropper{g: g, f: f, rng: rand.New(rand.NewSource(seed))})
+				},
 			}
 		},
-		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
-			return "drop", func() congest.Adversary {
-				return adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptDrop)
+		func(g *graph.Graph, f int, seed int64) advFamily {
+			return advFamily{
+				name: "flip",
+				mk: func() congest.Adversary {
+					return adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptFlip)
+				},
+				mkMap: func() congest.Adversary {
+					return congest.AdaptTraffic(newMapByzantine(g, f, seed, mapSelectRandom, adversary.CorruptFlip))
+				},
 			}
 		},
-		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
-			return "swap-busiest", func() congest.Adversary {
-				return adversary.NewMobileByzantine(g, f, seed, adversary.SelectBusiest, adversary.CorruptSwap)
+		func(g *graph.Graph, f int, seed int64) advFamily {
+			return advFamily{
+				name: "drop",
+				mk: func() congest.Adversary {
+					return adversary.NewMobileByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptDrop)
+				},
+				mkMap: func() congest.Adversary {
+					return congest.AdaptTraffic(newMapByzantine(g, f, seed, mapSelectRandom, adversary.CorruptDrop))
+				},
 			}
 		},
-		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
-			return "inject-static", func() congest.Adversary {
-				return adversary.NewStaticByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptInject)
+		func(g *graph.Graph, f int, seed int64) advFamily {
+			return advFamily{
+				name: "swap-busiest",
+				mk: func() congest.Adversary {
+					return adversary.NewMobileByzantine(g, f, seed, adversary.SelectBusiest, adversary.CorruptSwap)
+				},
+				mkMap: func() congest.Adversary {
+					return congest.AdaptTraffic(newMapByzantine(g, f, seed, mapSelectBusiest, adversary.CorruptSwap))
+				},
 			}
 		},
-		func(g *graph.Graph, f int, seed int64) (string, func() congest.Adversary) {
-			return "error-rate", func() congest.Adversary {
-				return adversary.NewRoundErrorRate(g, 3*f, []int{0, f, 1}, seed, adversary.SelectRandom, adversary.CorruptRandomize)
+		func(g *graph.Graph, f int, seed int64) advFamily {
+			return advFamily{
+				name: "inject-static",
+				mk: func() congest.Adversary {
+					return adversary.NewStaticByzantine(g, f, seed, adversary.SelectRandom, adversary.CorruptInject)
+				},
+				mkMap: func() congest.Adversary {
+					b := newMapByzantine(g, f, seed, mapSelectRandom, adversary.CorruptInject)
+					b.staticMode = true
+					return congest.AdaptTraffic(b)
+				},
+			}
+		},
+		func(g *graph.Graph, f int, seed int64) advFamily {
+			return advFamily{
+				name: "error-rate",
+				mk: func() congest.Adversary {
+					return adversary.NewRoundErrorRate(g, 3*f, []int{0, f, 1}, seed, adversary.SelectRandom, adversary.CorruptRandomize)
+				},
+				mkMap: func() congest.Adversary {
+					b := newMapByzantine(g, f, seed, mapSelectRandom, adversary.CorruptRandomize)
+					b.totalBudget, b.burst = 3*f, []int{0, f, 1}
+					return congest.AdaptTraffic(b)
+				},
 			}
 		},
 	}
@@ -134,12 +187,12 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 		pname, proto := protoFams[rng.Intn(len(protoFams))](g, rng)
 		f := 1 + rng.Intn(3)
 		advSeed := rng.Int63()
-		aname, mkAdv := advFams[rng.Intn(len(advFams))](g, f, advSeed)
+		fam := advFams[rng.Intn(len(advFams))](g, f, advSeed)
 		seed := rng.Int63()
-		label := fmt.Sprintf("trial %d: %s/%s/%s f=%d seed=%d", trial, gname, pname, aname, f, seed)
+		label := fmt.Sprintf("trial %d: %s/%s/%s f=%d seed=%d", trial, gname, pname, fam.name, f, seed)
 
-		run := func(e Engine) (*Result, congest.Adversary, *TraceObserver, error) {
-			adv := mkAdv()
+		run := func(e Engine, mk func() congest.Adversary) (*Result, congest.Adversary, *TraceObserver, error) {
+			adv := mk()
 			tr := NewTraceObserver()
 			res, err := e.Run(congest.Config{
 				Graph: g, Seed: seed, Adversary: adv, MaxRounds: 1 << 16,
@@ -147,8 +200,8 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 			}, proto)
 			return res, adv, tr, err
 		}
-		want, wantAdv, wantTr, err1 := run(EngineGoroutine)
-		got, gotAdv, gotTr, err2 := run(EngineStep)
+		want, wantAdv, wantTr, err1 := run(EngineGoroutine, fam.mk)
+		got, gotAdv, gotTr, err2 := run(EngineStep, fam.mk)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("%s: errors differ: goroutine=%v step=%v", label, err1, err2)
 		}
@@ -190,5 +243,43 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 				t.Fatalf("%s: eavesdropper views differ across engines", label)
 			}
 		}
+
+		// Slot-vs-map leg: the same trial through the map mirror behind the
+		// compat adapter must be indistinguishable from the slot-native run.
+		if fam.mkMap == nil {
+			continue
+		}
+		mres, madv, mtr, merr := run(EngineStep, fam.mkMap)
+		if merr != nil {
+			t.Fatalf("%s: map-adapter leg failed: %v", label, merr)
+		}
+		if mres.Stats != got.Stats {
+			t.Fatalf("%s: stats differ slot vs map:\n slot %+v\n map  %+v", label, got.Stats, mres.Stats)
+		}
+		mout := fmt.Sprintf("%#v", mres.Outputs)
+		if mout != gout {
+			t.Fatalf("%s: outputs differ slot vs map:\n slot %s\n map  %s", label, gout, mout)
+		}
+		mtrb, err := json.Marshal(mtr.Rounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(mtrb) != string(gtr) {
+			t.Fatalf("%s: traces differ slot vs map:\n slot %s\n map  %s", label, gtr, mtrb)
+		}
+		if me, ok := unwrapAdv(madv).(*mapEavesdropper); ok {
+			ge := gotAdv.(*adversary.Eavesdropper)
+			if string(me.viewBytes()) != string(ge.ViewBytes()) {
+				t.Fatalf("%s: eavesdropper views differ slot vs map", label)
+			}
+		}
 	}
+}
+
+// unwrapAdv reaches through the compat adapter to the wrapped map adversary.
+func unwrapAdv(a congest.Adversary) any {
+	if u, ok := a.(interface{ Unwrap() any }); ok {
+		return u.Unwrap()
+	}
+	return a
 }

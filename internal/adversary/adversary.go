@@ -5,6 +5,12 @@
 // exercise. All adversaries are deterministic given their seed and know the
 // topology and the algorithm, but never the nodes' private randomness —
 // exactly the oblivious-to-randomness model of the paper.
+//
+// Every adversary here is slot-native: it reads and corrupts the round
+// through the engine's congest.RoundTraffic view, so adversarial rounds
+// never materialize a traffic map. All adversaries also implement
+// congest.RunResetter, so a single instance is reusable across repeated runs
+// and sweep cells with per-run determinism.
 package adversary
 
 import (
@@ -29,6 +35,7 @@ type Observation struct {
 type Eavesdropper struct {
 	g        *graph.Graph
 	f        int
+	seed     int64
 	rng      *rand.Rand
 	schedule [][]graph.Edge // schedule[i] = edges controlled in round i (cycled)
 	view     []Observation
@@ -39,16 +46,19 @@ type Eavesdropper struct {
 var (
 	_ congest.Adversary      = (*Eavesdropper)(nil)
 	_ congest.PerRoundBudget = (*Eavesdropper)(nil)
+	_ congest.RunResetter    = (*Eavesdropper)(nil)
 )
 
 // NewMobileEavesdropper listens on f fresh random edges every round.
 func NewMobileEavesdropper(g *graph.Graph, f int, seed int64) *Eavesdropper {
-	return &Eavesdropper{g: g, f: f, rng: rand.New(rand.NewSource(seed))}
+	return &Eavesdropper{g: g, f: f, seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // NewStaticEavesdropper listens on one fixed random set of f edges.
 func NewStaticEavesdropper(g *graph.Graph, f int, seed int64) *Eavesdropper {
-	return &Eavesdropper{g: g, f: f, rng: rand.New(rand.NewSource(seed)), static: true}
+	e := NewMobileEavesdropper(g, f, seed)
+	e.static = true
+	return e
 }
 
 // NewScheduledEavesdropper follows an explicit per-round schedule (cycled if
@@ -66,6 +76,17 @@ func NewScheduledEavesdropper(g *graph.Graph, schedule [][]graph.Edge) *Eavesdro
 // PerRoundEdges implements congest.PerRoundBudget. Eavesdroppers never
 // modify traffic, so the budget is vacuous, but declaring it documents f.
 func (a *Eavesdropper) PerRoundEdges() int { return a.f }
+
+// ResetRun implements congest.RunResetter: it re-seeds the adversary's
+// randomness and drops the previous run's view and static edge set, so runs
+// from one instance are independent and identically distributed.
+func (a *Eavesdropper) ResetRun() {
+	if a.rng != nil {
+		a.rng.Seed(a.seed)
+	}
+	a.view = nil
+	a.fixed = nil
+}
 
 // ControlledEdges returns the edges the adversary listens on in the given
 // round.
@@ -86,17 +107,20 @@ func (a *Eavesdropper) ControlledEdges(round int) []graph.Edge {
 	}
 }
 
-// Intercept records the messages on the controlled edges and delivers the
-// traffic unchanged.
-func (a *Eavesdropper) Intercept(round int, tr congest.Traffic) congest.Traffic {
+// Intercept implements congest.Adversary: it records the messages on the
+// controlled edges' slots and delivers the traffic unchanged.
+func (a *Eavesdropper) Intercept(round int, tr *congest.RoundTraffic) {
 	for _, e := range a.ControlledEdges(round) {
-		for _, de := range []graph.DirEdge{{From: e.U, To: e.V}, {From: e.V, To: e.U}} {
-			if m, ok := tr[de]; ok {
-				a.view = append(a.view, Observation{Round: round, Edge: de, Data: m.Clone()})
+		fwd, bwd := tr.EdgeSlots(e)
+		for _, s := range [2]int32{fwd, bwd} {
+			if s < 0 {
+				continue
+			}
+			if m := tr.Get(s); m != nil {
+				a.view = append(a.view, Observation{Round: round, Edge: tr.DirEdge(s), Data: m.Clone()})
 			}
 		}
 	}
-	return tr
 }
 
 // View returns everything the eavesdropper saw.

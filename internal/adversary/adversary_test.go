@@ -2,6 +2,9 @@ package adversary
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"mobilecongest/internal/congest"
@@ -134,22 +137,91 @@ func TestRoundErrorRateBudget(t *testing.T) {
 	}
 }
 
+// mustRoundTraffic builds a free-standing slot view for direct adversary
+// unit tests.
+func mustRoundTraffic(t testing.TB, g *graph.Graph, tr congest.Traffic) *congest.RoundTraffic {
+	t.Helper()
+	rt, err := congest.NewRoundTraffic(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
 func TestSelectBusiest(t *testing.T) {
 	g := graph.Path(3)
-	tr := congest.Traffic{
+	rt := mustRoundTraffic(t, g, congest.Traffic{
 		{From: 0, To: 1}: make(congest.Msg, 100),
 		{From: 1, To: 2}: make(congest.Msg, 5),
-	}
-	edges := SelectBusiest(nil, 0, g, tr, 1)
+	})
+	st := &SelectorState{}
+	edges := SelectBusiest(st, nil, 0, g, rt, 1)
 	if len(edges) != 1 || edges[0] != graph.NewEdge(0, 1) {
 		t.Fatalf("busiest = %v, want (0,1)", edges)
+	}
+	// The reusable load scratch must come back clean: a second selection on
+	// different traffic must not see the first round's loads.
+	rt2 := mustRoundTraffic(t, g, congest.Traffic{
+		{From: 1, To: 2}: make(congest.Msg, 7),
+	})
+	edges = SelectBusiest(st, nil, 1, g, rt2, 1)
+	if len(edges) != 1 || edges[0] != graph.NewEdge(1, 2) {
+		t.Fatalf("busiest with reused state = %v, want (1,2)", edges)
+	}
+}
+
+// TestSelectBusiestMatchesFullSort pins the bounded-insertion top-f against
+// the definitional full sort (load descending, edge ascending) on random
+// rounds.
+func TestSelectBusiestMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Circulant(16, 3)
+	st := &SelectorState{}
+	for trial := 0; trial < 50; trial++ {
+		tr := congest.Traffic{}
+		load := make(map[graph.Edge]int)
+		for _, e := range g.Edges() {
+			for _, de := range []graph.DirEdge{{From: e.U, To: e.V}, {From: e.V, To: e.U}} {
+				if rng.Intn(3) == 0 {
+					m := make(congest.Msg, rng.Intn(16))
+					tr[de] = m
+					load[e] += len(m)
+				}
+			}
+		}
+		want := make([]graph.Edge, 0, len(load))
+		for e := range load {
+			want = append(want, e)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if load[want[i]] != load[want[j]] {
+				return load[want[i]] > load[want[j]]
+			}
+			if want[i].U != want[j].U {
+				return want[i].U < want[j].U
+			}
+			return want[i].V < want[j].V
+		})
+		f := 1 + rng.Intn(5)
+		if len(want) > f {
+			want = want[:f]
+		}
+		got := SelectBusiest(st, nil, trial, g, mustRoundTraffic(t, g, tr), f)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d edges, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
 	}
 }
 
 func TestSelectIncident(t *testing.T) {
 	g := graph.Clique(5)
 	sel := SelectIncident(2)
-	edges := sel(nil, 0, g, nil, 3)
+	edges := sel(&SelectorState{}, nil, 0, g, nil, 3)
 	if len(edges) != 3 {
 		t.Fatalf("got %d edges, want 3", len(edges))
 	}
@@ -162,15 +234,44 @@ func TestSelectIncident(t *testing.T) {
 
 func TestSelectRotatingCoversAllEdges(t *testing.T) {
 	g := graph.Cycle(6)
-	sel := SelectRotating()
+	st := &SelectorState{}
 	seen := make(map[graph.Edge]bool)
 	for r := 0; r < 6; r++ {
-		for _, e := range sel(nil, r, g, nil, 1) {
+		for _, e := range SelectRotating(st, nil, r, g, nil, 1) {
 			seen[e] = true
 		}
 	}
 	if len(seen) != 6 {
 		t.Fatalf("rotation covered %d/6 edges", len(seen))
+	}
+}
+
+// TestRotatingSelectorReusableAcrossRuns is the regression test for the old
+// closure-captured rotation offset: a rotating adversary reused across runs
+// (as a Scenario run in a loop, or a Selector value shared by sweep cells)
+// must corrupt the identical edge sequence in every same-seed run, because
+// the rotation cursor now lives in per-run adversary state that the engine
+// resets at run start.
+func TestRotatingSelectorReusableAcrossRuns(t *testing.T) {
+	g := graph.Cycle(8)
+	adv := NewMobileByzantine(g, 2, 5, SelectRotating, CorruptFlip)
+	runOnce := func() []congest.CorruptionEvent {
+		cl := congest.NewCorruptionLog()
+		if _, err := congest.Run(congest.Config{
+			Graph: g, Seed: 3, Adversary: adv,
+			Observers: []congest.Observer{cl},
+		}, chatter(5)); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Events()
+	}
+	first := runOnce()
+	second := runOnce()
+	if len(first) == 0 {
+		t.Fatal("rotating adversary corrupted nothing")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed, same adversary instance, different corruption sequences:\n run1 %+v\n run2 %+v", first, second)
 	}
 }
 
@@ -197,15 +298,16 @@ func TestCorruptSwap(t *testing.T) {
 func TestStaticByzantineFixedEdges(t *testing.T) {
 	g := graph.Clique(5)
 	adv := NewStaticByzantine(g, 2, 7, SelectRandom, CorruptFlip)
-	// Run twice: the touched edge set must be identical across rounds.
+	// Run four rounds: the touched edge set must be identical across rounds.
 	touched := make(map[graph.Edge]bool)
 	tr := congest.Traffic{}
 	for _, e := range g.Edges() {
 		tr[graph.DirEdge{From: e.U, To: e.V}] = congest.U64Msg(1)
 	}
 	for round := 0; round < 4; round++ {
-		out := adv.Intercept(round, tr)
-		for de, m := range out {
+		rt := mustRoundTraffic(t, g, tr)
+		adv.Intercept(round, rt)
+		for de, m := range rt.Delivered() {
 			if congest.U64(m) != 1 {
 				touched[de.Undirected()] = true
 			}
@@ -223,12 +325,12 @@ func TestViewBytesCanonical(t *testing.T) {
 		{From: 0, To: 1}: congest.U64Msg(1),
 		{From: 2, To: 1}: congest.U64Msg(2),
 	}
-	eve.Intercept(0, tr)
+	eve.Intercept(0, mustRoundTraffic(t, g, tr))
 	b1 := eve.ViewBytes()
-	// A second eavesdropper observing the same traffic in a different map
-	// iteration order yields identical canonical bytes.
+	// A second eavesdropper observing the same traffic in a different
+	// schedule order yields identical canonical bytes.
 	eve2 := NewScheduledEavesdropper(g, [][]graph.Edge{{graph.NewEdge(1, 2), graph.NewEdge(0, 1)}})
-	eve2.Intercept(0, tr)
+	eve2.Intercept(0, mustRoundTraffic(t, g, tr))
 	b2 := eve2.ViewBytes()
 	if string(b1) != string(b2) {
 		t.Fatal("ViewBytes not canonical across observation orders")
@@ -258,6 +360,26 @@ func TestSwapAdversaryInEngine(t *testing.T) {
 	// Each node receives its own value back.
 	if res.Outputs[0].(uint64) != 10 || res.Outputs[1].(uint64) != 11 {
 		t.Fatalf("swap not applied: %v", res.Outputs)
+	}
+}
+
+// TestNonEdgeSelectionAbortsCleanly: a Selector handing the byzantine an
+// edge outside the graph (easy with SelectFixed's user-supplied lists) must
+// abort the run with the non-edge injection error — never panic — matching
+// the legacy map path.
+func TestNonEdgeSelectionAbortsCleanly(t *testing.T) {
+	g := graph.Cycle(6)
+	// (0,3) is not an edge of the 6-cycle.
+	adv := NewMobileByzantine(g, 1, 1, SelectFixed([]graph.Edge{graph.NewEdge(0, 3)}), CorruptInject)
+	_, err := congest.Run(congest.Config{Graph: g, Seed: 1, Adversary: adv}, chatter(3))
+	if err == nil || !strings.Contains(err.Error(), "injected on non-edge (0,3)") {
+		t.Fatalf("err = %v, want the non-edge injection abort", err)
+	}
+	// Corruptions that leave a non-edge silent (drop) stay a no-op: nothing
+	// was sent there, nothing changes, the run completes.
+	adv = NewMobileByzantine(g, 1, 1, SelectFixed([]graph.Edge{graph.NewEdge(0, 3)}), CorruptDrop)
+	if _, err := congest.Run(congest.Config{Graph: g, Seed: 1, Adversary: adv}, chatter(3)); err != nil {
+		t.Fatalf("dropping a silent non-edge should be a no-op, got %v", err)
 	}
 }
 

@@ -2,48 +2,88 @@ package adversary
 
 import (
 	"math/rand"
-	"sort"
 
 	"mobilecongest/internal/congest"
 	"mobilecongest/internal/graph"
 )
 
-// Selection strategies. All iterate traffic deterministically (sorted) so
-// runs are reproducible.
+// Selection strategies. All consume the slot-native round view and are
+// deterministic given their inputs, so runs are reproducible; per-run
+// mutable state lives in the SelectorState, never in the Selector value.
 
 // SelectRandom picks f uniformly random graph edges.
-func SelectRandom(rng *rand.Rand, _ int, g *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+func SelectRandom(_ *SelectorState, rng *rand.Rand, _ int, g *graph.Graph, _ *congest.RoundTraffic, f int) []graph.Edge {
 	return randomEdges(g, f, rng)
 }
 
 // SelectBusiest picks the f edges carrying the most payload bytes this
 // round — a greedy "hit where it hurts" heuristic that tends to target the
-// compiler's control traffic.
-func SelectBusiest(_ *rand.Rand, _ int, _ *graph.Graph, tr congest.Traffic, f int) []graph.Edge {
-	load := make(map[graph.Edge]int)
-	for de, m := range tr {
-		load[de.Undirected()] += len(m)
+// compiler's control traffic. Loads accumulate into the state's reusable
+// per-undirected-edge slice via the layout's slot->edge index, and the top f
+// are picked by bounded insertion instead of sorting the whole round, so a
+// selection allocates nothing beyond its f-edge result.
+func SelectBusiest(st *SelectorState, _ *rand.Rand, _ int, g *graph.Graph, tr *congest.RoundTraffic, f int) []graph.Edge {
+	if f <= 0 {
+		return nil
 	}
-	edges := make([]graph.Edge, 0, len(load))
-	for e := range load {
-		edges = append(edges, e)
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if load[edges[i]] != load[edges[j]] {
-			return load[edges[i]] > load[edges[j]]
+	edges := g.Edges()
+	load := st.loadFor(len(edges))
+	touched := st.loadTouched[:0]
+	for s, m := range tr.All() {
+		u := tr.UndirIndex(s)
+		if load[u] < 0 {
+			load[u] = 0
+			touched = append(touched, u)
 		}
-		return lessEdge(edges[i], edges[j])
-	})
-	if len(edges) > f {
-		edges = edges[:f]
+		load[u] += len(m)
 	}
-	return edges
+	st.loadTouched = touched
+
+	// rank is the legacy total order: load descending, then edge ascending —
+	// so the bounded insertion selects exactly what the full sort did.
+	rank := func(a, b int32) bool {
+		if load[a] != load[b] {
+			return load[a] > load[b]
+		}
+		ea, eb := edges[a], edges[b]
+		if ea.U != eb.U {
+			return ea.U < eb.U
+		}
+		return ea.V < eb.V
+	}
+	sel := st.sel[:0]
+	for _, u := range touched {
+		if len(sel) == f && !rank(u, sel[f-1]) {
+			continue
+		}
+		// Insertion position by linear scan from the back: f is small (the
+		// adversary's edge budget), so this beats a general sort's constants
+		// by a wide margin.
+		if len(sel) < f {
+			sel = append(sel, u)
+		} else {
+			sel[f-1] = u
+		}
+		for i := len(sel) - 1; i > 0 && rank(sel[i], sel[i-1]); i-- {
+			sel[i], sel[i-1] = sel[i-1], sel[i]
+		}
+	}
+	st.sel = sel
+
+	out := make([]graph.Edge, len(sel))
+	for i, u := range sel {
+		out[i] = edges[u]
+	}
+	for _, u := range touched {
+		load[u] = -1
+	}
+	return out
 }
 
 // SelectIncident concentrates all f corruptions on edges incident to one
 // victim node (the paper's root-targeting worst case for tree protocols).
 func SelectIncident(victim graph.NodeID) Selector {
-	return func(rng *rand.Rand, _ int, g *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+	return func(_ *SelectorState, _ *rand.Rand, _ int, g *graph.Graph, _ *congest.RoundTraffic, f int) []graph.Edge {
 		nbs := g.Neighbors(victim)
 		edges := make([]graph.Edge, 0, f)
 		for _, v := range nbs {
@@ -58,7 +98,7 @@ func SelectIncident(victim graph.NodeID) Selector {
 
 // SelectFixed always returns the given edges (truncated to budget).
 func SelectFixed(edges []graph.Edge) Selector {
-	return func(_ *rand.Rand, _ int, _ *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+	return func(_ *SelectorState, _ *rand.Rand, _ int, _ *graph.Graph, _ *congest.RoundTraffic, f int) []graph.Edge {
 		if len(edges) > f {
 			return edges[:f]
 		}
@@ -68,28 +108,20 @@ func SelectFixed(edges []graph.Edge) Selector {
 
 // SelectRotating sweeps the edge list round-robin, so over time every edge
 // gets corrupted — the "virus spreading through the network" pattern that
-// motivates the mobile model.
-func SelectRotating() Selector {
-	offset := 0
-	return func(_ *rand.Rand, _ int, g *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
-		all := g.Edges()
-		if len(all) == 0 {
-			return nil
-		}
-		out := make([]graph.Edge, 0, f)
-		for i := 0; i < f && i < len(all); i++ {
-			out = append(out, all[(offset+i)%len(all)])
-		}
-		offset = (offset + f) % len(all)
-		return out
+// motivates the mobile model. The cursor lives in the per-run SelectorState
+// (st.Rotation), which the owning adversary zeroes at every run start, so
+// this value carries no state between runs or sweep cells.
+func SelectRotating(st *SelectorState, _ *rand.Rand, _ int, g *graph.Graph, _ *congest.RoundTraffic, f int) []graph.Edge {
+	all := g.Edges()
+	if len(all) == 0 {
+		return nil
 	}
-}
-
-func lessEdge(a, b graph.Edge) bool {
-	if a.U != b.U {
-		return a.U < b.U
+	out := make([]graph.Edge, 0, f)
+	for i := 0; i < f && i < len(all); i++ {
+		out = append(out, all[(st.Rotation+i)%len(all)])
 	}
-	return a.V < b.V
+	st.Rotation = (st.Rotation + f) % len(all)
+	return out
 }
 
 // Corruption strategies.

@@ -1,0 +1,74 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// legacySelectBusiest is the pre-slot implementation — per-round
+// map[graph.Edge]int plus a full sort — kept here as the benchmark baseline
+// for the slot rewrite.
+func legacySelectBusiest(tr congest.Traffic, f int) []graph.Edge {
+	load := make(map[graph.Edge]int)
+	for de, m := range tr {
+		load[de.Undirected()] += len(m)
+	}
+	edges := make([]graph.Edge, 0, len(load))
+	for e := range load {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if load[edges[i]] != load[edges[j]] {
+			return load[edges[i]] > load[edges[j]]
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	if len(edges) > f {
+		edges = edges[:f]
+	}
+	return edges
+}
+
+// BenchmarkSelectBusiest contrasts the slot-native SelectBusiest (reusable
+// per-undirected-edge load slice + bounded top-f insertion) against the
+// legacy map+sort implementation on a fully loaded round. The slot path's
+// only allocation is its f-edge result.
+func BenchmarkSelectBusiest(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		g := graph.Circulant(n, 4)
+		tr := congest.Traffic{}
+		for i, e := range g.Edges() {
+			tr[graph.DirEdge{From: e.U, To: e.V}] = make(congest.Msg, 8+i%32)
+			tr[graph.DirEdge{From: e.V, To: e.U}] = make(congest.Msg, 8+(i*7)%32)
+		}
+		rt, err := congest.NewRoundTraffic(g, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const f = 4
+		b.Run(fmt.Sprintf("slot/n=%d", n), func(b *testing.B) {
+			st := &SelectorState{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := SelectBusiest(st, nil, i, g, rt, f); len(got) != f {
+					b.Fatalf("selected %d edges", len(got))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("legacy-map/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := legacySelectBusiest(tr, f); len(got) != f {
+					b.Fatalf("selected %d edges", len(got))
+				}
+			}
+		})
+	}
+}

@@ -52,7 +52,7 @@ func TestCompileUnderMobileByzantine(t *testing.T) {
 	}{
 		{"random-flip", adversary.SelectRandom, adversary.CorruptFlip},
 		{"busiest-randomize", adversary.SelectBusiest, adversary.CorruptRandomize},
-		{"rotating-drop", adversary.SelectRotating(), adversary.CorruptDrop},
+		{"rotating-drop", adversary.SelectRotating, adversary.CorruptDrop},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			adv := adversary.NewMobileByzantine(g, 1, 5, tc.sel, tc.cor)

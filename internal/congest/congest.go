@@ -11,11 +11,15 @@
 // deterministic given Config.Seed and produce identical Results.
 //
 // Internally a run moves traffic through a flat, edge-indexed round buffer
-// (see edgeLayout); the map form of a round's traffic survives as the stable
-// Traffic view, materialized lazily when an adversary or observer asks for
-// it. Run-level measurement is pluggable via the Observer pipeline
-// (Config.Observers); the engine's own statistics are a StatsObserver it
-// installs itself.
+// (see edgeLayout). The adversary boundary is slot-native: adversaries read
+// and mutate the round through a RoundTraffic view indexed by edge slot, and
+// the map form of a round's traffic survives only as a legacy view,
+// materialized lazily when a map-based TrafficAdversary (via AdaptTraffic)
+// or an observer asks for it. Run-level measurement is pluggable via the
+// Observer pipeline (Config.Observers); the engine's own statistics are a
+// StatsObserver it installs itself. Repeated runs over the same graph can
+// reuse a RunContext (see ContextRunner), amortizing the layout, round
+// buffers, node cores, and RNG state across runs.
 //
 // The model is KT1: every node knows n, its own ID, and the IDs of its
 // neighbours. Nodes hold private randomness the adversary cannot see.
@@ -76,15 +80,43 @@ func (t Traffic) SortedEdges() []graph.DirEdge {
 // Adversary intercepts each round's traffic. Implementations may observe
 // (eavesdroppers) or modify/inject (byzantine). The engine enforces the edge
 // budget declared through PerRoundBudget or TotalBudget.
+//
+// This is the slot-native interface: the adversary reads and writes the
+// round's directed messages by slot through a RoundTraffic view over the
+// run's flat edge layout, so the adversarial hot path never materializes a
+// map. Adversaries written against the legacy map form (Intercept(round,
+// Traffic) Traffic) implement TrafficAdversary instead and are installed via
+// the AdaptTraffic compat adapter.
 type Adversary interface {
-	// Intercept receives the round number and the round's traffic and
-	// returns the traffic to deliver. The input is read-only: neither the
-	// map nor the Msg payloads it holds may be mutated in place — messages
-	// are shared with the engine's internal round buffer, so in-place edits
-	// bypass the delivery diff and corrupt silently, outside any budget
-	// accounting. Corrupt by returning a modified clone (Traffic.Clone
-	// deep-copies payloads), or the very map received if unchanged.
+	// Intercept receives the round number and the round's traffic. The view
+	// is read/write: Get reads a slot's message, Set overrides it (the
+	// engine diffs overrides against the collected traffic for budget
+	// accounting, then folds them into the delivered round). Messages read
+	// from the view are shared with the engine's round buffer and must not
+	// be mutated in place — corrupt by Setting a modified clone.
+	Intercept(round int, tr *RoundTraffic)
+}
+
+// TrafficAdversary is the legacy map-based adversary interface: Intercept
+// receives the round's traffic as a map and returns the traffic to deliver.
+// The input is read-only: neither the map nor the Msg payloads it holds may
+// be mutated in place — messages are shared with the engine's internal round
+// buffer, so in-place edits bypass the delivery diff and corrupt silently,
+// outside any budget accounting. Corrupt by returning a modified clone
+// (Traffic.Clone deep-copies payloads), or the very map received if
+// unchanged. Install one with AdaptTraffic.
+type TrafficAdversary interface {
 	Intercept(round int, tr Traffic) Traffic
+}
+
+// RunResetter is implemented by adversaries that carry per-run mutable state
+// (RNG streams, accumulated views, spent budgets, rotation cursors). Engines
+// call ResetRun once at the start of every run, before the first round, so a
+// single adversary instance is safely reusable across repeated runs and
+// sweep cells: two runs from the same instance with the same seed behave
+// identically.
+type RunResetter interface {
+	ResetRun()
 }
 
 // PerRoundBudget is implemented by f-mobile (and f-static) adversaries: at

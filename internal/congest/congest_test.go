@@ -142,8 +142,9 @@ func TestInputsOutputs(t *testing.T) {
 	}
 }
 
-// corruptAll is a misbehaving adversary claiming budget 1 but touching
-// everything.
+// corruptAll is a misbehaving map-based adversary claiming budget 1 but
+// touching everything; it runs through the AdaptTraffic compat adapter,
+// which must surface its budget declaration to the engine.
 type corruptAll struct{}
 
 func (corruptAll) Intercept(_ int, tr Traffic) Traffic {
@@ -157,7 +158,7 @@ func (corruptAll) PerRoundEdges() int { return 1 }
 
 func TestBudgetEnforced(t *testing.T) {
 	g := graph.Clique(4)
-	_, err := Run(Config{Graph: g, Seed: 1, Adversary: corruptAll{}}, floodMax(2))
+	_, err := Run(Config{Graph: g, Seed: 1, Adversary: AdaptTraffic(corruptAll{})}, floodMax(2))
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}
@@ -186,7 +187,7 @@ func TestInjectionOnSilentEdge(t *testing.T) {
 		rt.SetOutput(uint64(0))
 	}
 	adv := injector{edge: graph.DirEdge{From: 0, To: 1}}
-	res, err := Run(Config{Graph: g, Seed: 1, Adversary: adv}, silent)
+	res, err := Run(Config{Graph: g, Seed: 1, Adversary: AdaptTraffic(adv)}, silent)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -98,25 +98,28 @@ func (s *nodeCore) Input() []byte             { return s.input }
 func (s *nodeCore) SetOutput(v any)           { s.output = v }
 func (s *nodeCore) Shared() any               { return s.shared }
 
-// runCore holds the engine-independent run state: validated config, the flat
-// edge layout with its reusable round buffers, the observer pipeline, and
-// the adversary budget accounting. Keeping this logic in one place is what
-// guarantees both engines count rounds, messages, and corrupted edge-rounds
-// identically — and fire observers at identical points with identical views.
+// runCore holds the engine-independent run state: validated config, the
+// context carrying the flat edge layout with its reusable round buffer and
+// adversary boundary scratch, the observer pipeline, and the adversary
+// budget accounting. Keeping this logic in one place is what guarantees both
+// engines count rounds, messages, and corrupted edge-rounds identically —
+// and fire observers at identical points with identical views.
 type runCore struct {
 	cfg       Config
+	rc        *RunContext
 	g         *graph.Graph
 	maxRounds int
 	layout    *edgeLayout
 	cur       *roundBuffer // collection buffer for the in-flight round
-	nxt       *roundBuffer // post-adversary delivery buffer (lazily allocated)
 	observers []Observer   // internal stats observer first, then cfg.Observers
 	stats     *StatsObserver
-	round     int // completed-round counter (the engine's round clock)
-	corrupted int // total corrupted edge-rounds, for TotalBudget enforcement
+	perRound  PerRoundBudget // non-nil when the adversary declares one
+	total     TotalBudget    // non-nil when the adversary declares one
+	round     int            // completed-round counter (the engine's round clock)
+	corrupted int            // total corrupted edge-rounds, for TotalBudget enforcement
 }
 
-func newRunCore(cfg Config) (*runCore, error) {
+func newRunCore(rc *RunContext, cfg Config) (*runCore, error) {
 	g := cfg.Graph
 	if g == nil || g.N() == 0 {
 		return nil, errors.New("congest: nil or empty graph")
@@ -128,40 +131,38 @@ func newRunCore(cfg Config) (*runCore, error) {
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
 	}
-	layout := newEdgeLayout(g)
-	stats := NewStatsObserver()
-	return &runCore{
+	if rc == nil {
+		rc = NewRunContext()
+	}
+	rc.bind(g)
+	rc.stats.Reset()
+	rc.cur.reset()
+	c := &runCore{
 		cfg:       cfg,
+		rc:        rc,
 		g:         g,
 		maxRounds: maxRounds,
-		layout:    layout,
-		cur:       newRoundBuffer(layout),
-		observers: append([]Observer{stats}, cfg.Observers...),
-		stats:     stats,
-	}, nil
-}
-
-// newNodeCores derives the per-node state. Node randomness is seeded from
-// cfg.Seed in node-index order, so every engine hands node i the same RNG
-// stream.
-func (c *runCore) newNodeCores() []nodeCore {
-	seeder := rand.New(rand.NewSource(c.cfg.Seed))
-	cores := make([]nodeCore, c.g.N())
-	for i := range cores {
-		var input []byte
-		if c.cfg.Inputs != nil {
-			input = c.cfg.Inputs[i]
-		}
-		cores[i] = nodeCore{
-			id:        graph.NodeID(i),
-			neighbors: c.g.Neighbors(graph.NodeID(i)),
-			rng:       rand.New(rand.NewSource(seeder.Int63())),
-			input:     input,
-			n:         c.g.N(),
-			shared:    c.cfg.Shared,
+		layout:    rc.layout,
+		cur:       rc.cur,
+		observers: append([]Observer{rc.stats}, cfg.Observers...),
+		stats:     rc.stats,
+	}
+	if adv := cfg.Adversary; adv != nil {
+		// Budget and run-reset declarations live on the wrapped adversary
+		// when a compat adapter is installed.
+		owner := unwrapAdversary(adv)
+		c.perRound, _ = owner.(PerRoundBudget)
+		c.total, _ = owner.(TotalBudget)
+		if r, ok := owner.(RunResetter); ok {
+			r.ResetRun()
 		}
 	}
-	return cores
+	return c, nil
+}
+
+// newNodeCores derives the per-node state; see RunContext.nodeCores.
+func (c *runCore) newNodeCores() []nodeCore {
+	return c.rc.nodeCores(c.cfg)
 }
 
 // beginRound gates the round on the limit, resets the collection buffer, and
@@ -215,43 +216,41 @@ func outputs(cores []nodeCore) []any {
 
 // intercept runs the adversary over the round's traffic and enforces its
 // declared budgets, returning the buffer holding the delivered traffic. The
-// adversary sees the stable map view, materialized lazily from the flat
-// collection buffer; its returned map is diffed directly against the buffer
-// — the buffer IS the pre-intercept snapshot — so no per-round deep clone is
-// needed, and an adversary returning the very map it was given is accounted
-// exactly like one returning a fresh clone. Ordering matters here: the
-// per-round budget is checked on this round's touched set BEFORE it is
+// adversary sees the slot-native RoundTraffic view over the flat collection
+// buffer and writes its corruptions into the view's reusable overlay; settle
+// then diffs the overlay against the buffer — the buffer IS the pre-intercept
+// snapshot — so the adversarial path allocates neither a per-round map nor a
+// deep clone, and an adversary Setting a slot back to its original bytes is
+// accounted exactly like one that never touched it. Ordering matters here:
+// the per-round budget is checked on this round's touched set BEFORE it is
 // folded into the total edge-round count, and both checks abort only on
 // strictly exceeding the budget — an adversary landing exactly on its
 // TotalBudget is within its rights and must complete the run with
-// CorruptedEdgeRounds equal to the budget.
+// CorruptedEdgeRounds equal to the budget. A non-edge injection (possible
+// only through the map-compat adapter) aborts after the budget verdict, as
+// the legacy map path did.
 func (c *runCore) intercept() (*roundBuffer, []graph.Edge, error) {
 	if c.cfg.Adversary == nil {
 		return c.cur, nil, nil
 	}
-	delivered := c.cfg.Adversary.Intercept(c.round, c.cur.materialize())
-	touched := c.touchedEdges(delivered)
-	if b, ok := c.cfg.Adversary.(PerRoundBudget); ok && len(touched) > b.PerRoundEdges() {
+	rt := c.rc.rt
+	rt.begin(c.cur)
+	c.cfg.Adversary.Intercept(c.round, rt)
+	touched, badInject := rt.settle()
+	if c.perRound != nil && len(touched) > c.perRound.PerRoundEdges() {
 		return nil, nil, fmt.Errorf("%w: %d edges touched in round %d, budget %d",
-			ErrBudgetExceeded, len(touched), c.round, b.PerRoundEdges())
+			ErrBudgetExceeded, len(touched), c.round, c.perRound.PerRoundEdges())
 	}
 	c.corrupted += len(touched)
-	if b, ok := c.cfg.Adversary.(TotalBudget); ok && c.corrupted > b.TotalEdgeRounds() {
+	if c.total != nil && c.corrupted > c.total.TotalEdgeRounds() {
 		return nil, nil, fmt.Errorf("%w: %d total edge-rounds, budget %d",
-			ErrBudgetExceeded, c.corrupted, b.TotalEdgeRounds())
+			ErrBudgetExceeded, c.corrupted, c.total.TotalEdgeRounds())
 	}
-	if len(touched) == 0 {
-		// Byte-identical traffic: the collection buffer IS the delivered
-		// round; skip the load entirely.
-		return c.cur, nil, nil
+	if badInject != nil {
+		return nil, nil, badInject
 	}
-	if c.nxt == nil {
-		c.nxt = newRoundBuffer(c.layout)
-	}
-	if err := c.nxt.loadFrom(delivered); err != nil {
-		return nil, nil, err
-	}
-	return c.nxt, touched, nil
+	rt.apply()
+	return c.cur, touched, nil
 }
 
 // endRound runs the round's adversary boundary and delivery: intercept with
@@ -291,50 +290,6 @@ func (c *runCore) runDone(err error) {
 	for _, o := range c.observers {
 		o.RunDone(st, err)
 	}
-}
-
-// touchedEdges diffs the adversary's returned map against the collection
-// buffer, returning the sorted undirected edges whose traffic differs —
-// modified, dropped, or injected (including injections on non-edges, which
-// the subsequent load rejects, after the budget verdict).
-func (c *runCore) touchedEdges(delivered Traffic) []graph.Edge {
-	var touched map[graph.Edge]bool
-	mark := func(e graph.Edge) {
-		if touched == nil {
-			touched = make(map[graph.Edge]bool)
-		}
-		touched[e] = true
-	}
-	for _, s := range c.cur.touched {
-		de := c.layout.dirEdges[s]
-		if d, ok := delivered[de]; !ok || !msgEqual(c.cur.msgs[s], d) {
-			mark(de.Undirected())
-		}
-	}
-	for de, d := range delivered {
-		s := c.layout.slot(de.From, de.To)
-		if s < 0 {
-			mark(de.Undirected())
-			continue
-		}
-		if o := c.cur.msgs[s]; o == nil || !msgEqual(o, d) {
-			mark(de.Undirected())
-		}
-	}
-	if len(touched) == 0 {
-		return nil
-	}
-	edges := make([]graph.Edge, 0, len(touched))
-	for e := range touched {
-		edges = append(edges, e)
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
-	return edges
 }
 
 func msgEqual(a, b Msg) bool {

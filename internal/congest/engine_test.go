@@ -138,7 +138,7 @@ func TestEnginesEarlyTermination(t *testing.T) {
 func TestEnginesBudgetEnforced(t *testing.T) {
 	forEngine(t, func(t *testing.T, e Engine) {
 		g := graph.Clique(4)
-		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: corruptAll{}}, floodMax(2))
+		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: AdaptTraffic(corruptAll{})}, floodMax(2))
 		if !errors.Is(err, ErrBudgetExceeded) {
 			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 		}
@@ -181,7 +181,7 @@ func TestEnginesEquivalence(t *testing.T) {
 	}
 	advs := map[string]Adversary{
 		"none":     nil,
-		"injector": injector{edge: graph.DirEdge{From: 0, To: 1}},
+		"injector": AdaptTraffic(injector{edge: graph.DirEdge{From: 0, To: 1}}),
 	}
 	for pname, proto := range protos {
 		for gname, g := range graphs {
@@ -236,7 +236,7 @@ func TestTotalBudgetExactLandingAllowed(t *testing.T) {
 	forEngine(t, func(t *testing.T, e Engine) {
 		g := graph.Cycle(6)
 		adv := &spendExactly{total: 3, edge: graph.DirEdge{From: 0, To: 1}}
-		res, err := e.Run(Config{Graph: g, Seed: 1, Adversary: adv}, floodMax(8))
+		res, err := e.Run(Config{Graph: g, Seed: 1, Adversary: AdaptTraffic(adv)}, floodMax(8))
 		if err != nil {
 			t.Fatalf("adversary landing exactly on its budget was aborted: %v", err)
 		}
@@ -253,16 +253,17 @@ func TestTotalBudgetStrictlyExceededAborts(t *testing.T) {
 		adv := &spendExactly{total: 3}
 		adv.edge = graph.DirEdge{From: 0, To: 1}
 		declared := &declaredBudget{inner: adv, total: 2}
-		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: declared}, floodMax(8))
+		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: AdaptTraffic(declared)}, floodMax(8))
 		if !errors.Is(err, ErrBudgetExceeded) {
 			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 		}
 	})
 }
 
-// declaredBudget wraps an adversary, overriding its declared total budget.
+// declaredBudget wraps a map-based adversary, overriding its declared total
+// budget.
 type declaredBudget struct {
-	inner Adversary
+	inner TrafficAdversary
 	total int
 }
 
@@ -279,7 +280,7 @@ func (d *declaredBudget) TotalEdgeRounds() int { return d.total }
 func TestPerRoundBudgetCheckedBeforeStats(t *testing.T) {
 	forEngine(t, func(t *testing.T, e Engine) {
 		g := graph.Clique(4)
-		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: overPerRound{}}, floodMax(2))
+		_, err := e.Run(Config{Graph: g, Seed: 1, Adversary: AdaptTraffic(overPerRound{})}, floodMax(2))
 		if !errors.Is(err, ErrBudgetExceeded) {
 			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 		}

@@ -47,8 +47,16 @@ func (s *goroutineNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg 
 }
 
 // Run implements Engine.
-func (GoroutineEngine) Run(cfg Config, proto Protocol) (res *Result, err error) {
-	core, err := newRunCore(cfg)
+func (e GoroutineEngine) Run(cfg Config, proto Protocol) (*Result, error) {
+	return e.RunIn(nil, cfg, proto)
+}
+
+// RunIn implements ContextRunner: it executes the run inside rc, reusing the
+// context's layout, buffers, node cores, and RNGs (nil rc runs in a fresh
+// throwaway context). All node goroutines are joined before RunIn returns,
+// so nothing references the context's state afterwards.
+func (GoroutineEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Result, err error) {
+	core, err := newRunCore(rc, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +101,7 @@ func (GoroutineEngine) Run(cfg Config, proto Protocol) (res *Result, err error) 
 		}
 	}
 
-	inboxes := make([]map[graph.NodeID]Msg, g.N())
+	inboxes := core.rc.inboxes
 	for nActive > 0 {
 		if err := core.beginRound(); err != nil {
 			abortAll()

@@ -81,6 +81,16 @@ type StatsObserver struct {
 // NewStatsObserver returns an empty statistics accumulator.
 func NewStatsObserver() *StatsObserver { return &StatsObserver{} }
 
+// Reset clears the accumulated statistics so the observer can serve a new
+// run; the per-edge congestion scratch is kept (zeroed in place) since its
+// size is bound to the graph, which a reusing RunContext keeps stable.
+func (o *StatsObserver) Reset() {
+	o.stats = Stats{}
+	for i := range o.edgeCong {
+		o.edgeCong[i] = 0
+	}
+}
+
 // RoundStart implements Observer.
 func (o *StatsObserver) RoundStart(int) {}
 

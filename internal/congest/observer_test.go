@@ -18,7 +18,7 @@ func TestStatsObserverMatchesResult(t *testing.T) {
 		st := NewStatsObserver()
 		res, err := e.Run(Config{
 			Graph: graph.Circulant(12, 2), Seed: 3,
-			Adversary: injector{edge: graph.DirEdge{From: 0, To: 1}},
+			Adversary: AdaptTraffic(injector{edge: graph.DirEdge{From: 0, To: 1}}),
 			Observers: []Observer{st},
 		}, floodMax(4))
 		if err != nil {
@@ -114,7 +114,7 @@ func TestCorruptionLogEvents(t *testing.T) {
 		cl := NewCorruptionLog()
 		adv := &spendExactly{total: 2, edge: graph.DirEdge{From: 1, To: 0}}
 		res, err := e.Run(Config{
-			Graph: graph.Cycle(5), Seed: 2, Adversary: adv,
+			Graph: graph.Cycle(5), Seed: 2, Adversary: AdaptTraffic(adv),
 			Observers: []Observer{cl},
 		}, floodMax(4))
 		if err != nil {
@@ -191,7 +191,7 @@ func TestRunDoneFiresOnError(t *testing.T) {
 	forEngine(t, func(t *testing.T, e Engine) {
 		rec := &lifecycleRecorder{}
 		_, err := e.Run(Config{
-			Graph: graph.Clique(4), Seed: 1, Adversary: corruptAll{},
+			Graph: graph.Clique(4), Seed: 1, Adversary: AdaptTraffic(corruptAll{}),
 			Observers: []Observer{rec},
 		}, floodMax(2))
 		if err == nil {
@@ -255,7 +255,7 @@ func TestRoundViewLazyTraffic(t *testing.T) {
 	obs := &trafficGrabber{views: &views}
 	adv := &trafficIdentity{}
 	_, err := (StepEngine{}).Run(Config{
-		Graph: graph.Path(2), Seed: 1, Adversary: adv, Observers: []Observer{obs},
+		Graph: graph.Path(2), Seed: 1, Adversary: AdaptTraffic(adv), Observers: []Observer{obs},
 	}, floodMax(2))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,382 @@
+package congest
+
+import (
+	"fmt"
+	"iter"
+	"reflect"
+	"sort"
+
+	"mobilecongest/internal/graph"
+)
+
+// RoundTraffic is the slot-native view of one round's traffic handed to the
+// Adversary. It exposes the run's flat edge layout directly: every directed
+// edge of the graph has a fixed slot (ascending sender, then receiver — the
+// same canonical order observers see), and the adversary reads the collected
+// messages and writes its corruptions by slot. Writes go to a reusable
+// overlay, never to the collection buffer itself, so the engine can diff the
+// overlay against the pristine round for exact budget accounting before
+// folding it into the delivered traffic.
+//
+// A RoundTraffic is only valid during the Intercept call it is handed to;
+// the engine reuses it (and everything it hands out) on the next round.
+type RoundTraffic struct {
+	buf *roundBuffer // pristine collection buffer for the round
+
+	// The adversary's write overlay: mod[s] is the override for slot s when
+	// its dirtyBits bit is set; dirty lists the overridden slots.
+	mod       []Msg
+	dirtyBits []uint64
+	dirty     []int32
+
+	// invalid records non-edge injections from the map-compat adapter; they
+	// count against the budget and then abort the round, exactly like the
+	// legacy map path.
+	invalid []graph.DirEdge
+
+	// settle/apply scratch, reused across rounds.
+	changed   []int32      // dirty slots whose override actually differs
+	undirMark []bool       // per undirected edge: already counted this round
+	undirList []int32      // touched undirected edge indices, insertion order
+	edgesOut  []graph.Edge // sorted touched edges handed to the round view
+}
+
+func newRoundTraffic(l *edgeLayout) *RoundTraffic {
+	return &RoundTraffic{
+		mod:       make([]Msg, l.slots()),
+		dirtyBits: make([]uint64, (l.slots()+63)/64),
+		undirMark: make([]bool, l.g.M()),
+	}
+}
+
+// NewRoundTraffic builds a free-standing slot view holding the given traffic
+// over g — the harness for exercising an Adversary outside an engine (unit
+// tests, micro-benchmarks). Inside a run the engine provides the view; this
+// constructor is never on the hot path. It rejects traffic on non-edges.
+func NewRoundTraffic(g *graph.Graph, tr Traffic) (*RoundTraffic, error) {
+	l := newEdgeLayout(g)
+	b := newRoundBuffer(l)
+	if err := b.loadFrom(tr); err != nil {
+		return nil, err
+	}
+	rt := newRoundTraffic(l)
+	rt.begin(b)
+	return rt, nil
+}
+
+// Delivered returns the view's current traffic — the collected round with
+// the adversary's Set overrides applied — as a fresh map. It is a test
+// helper for free-standing views (NewRoundTraffic); inside a run the engine
+// folds overrides into the delivered round itself.
+func (t *RoundTraffic) Delivered() Traffic {
+	out := make(Traffic, t.buf.len())
+	for s := 0; s < t.Slots(); s++ {
+		if m := t.Get(int32(s)); m != nil {
+			out[t.DirEdge(int32(s))] = m
+		}
+	}
+	return out
+}
+
+// begin attaches the view to the round's collection buffer and clears the
+// previous round's overlay.
+func (t *RoundTraffic) begin(b *roundBuffer) {
+	t.buf = b
+	for _, s := range t.dirty {
+		t.mod[s] = nil
+		t.dirtyBits[s>>6] &^= 1 << uint(s&63)
+	}
+	t.dirty = t.dirty[:0]
+	t.invalid = t.invalid[:0]
+}
+
+// Graph returns the run's topology.
+func (t *RoundTraffic) Graph() *graph.Graph { return t.buf.layout.g }
+
+// Slots returns the number of directed-edge slots (2M).
+func (t *RoundTraffic) Slots() int { return len(t.mod) }
+
+// Len returns the number of directed messages the nodes sent this round.
+func (t *RoundTraffic) Len() int { return t.buf.len() }
+
+// Slot returns the slot of the directed edge from->to, or -1 when the pair
+// is not an edge of the graph.
+func (t *RoundTraffic) Slot(from, to graph.NodeID) int32 {
+	return t.buf.layout.slot(from, to)
+}
+
+// EdgeSlots returns the two slots of an undirected edge: U->V, then V->U.
+// Both are -1 when e is not an edge of the graph.
+func (t *RoundTraffic) EdgeSlots(e graph.Edge) (fwd, bwd int32) {
+	l := t.buf.layout
+	return l.slot(e.U, e.V), l.slot(e.V, e.U)
+}
+
+// DirEdge returns the directed edge occupying slot s.
+func (t *RoundTraffic) DirEdge(s int32) graph.DirEdge { return t.buf.layout.dirEdges[s] }
+
+// UndirIndex returns the index of slot s's undirected edge in Graph().Edges()
+// — the key for per-edge accumulators (see adversary.SelectBusiest).
+func (t *RoundTraffic) UndirIndex(s int32) int32 { return t.buf.layout.undir[s] }
+
+// Get returns the message currently on slot s: the adversary's own override
+// if it has Set the slot this round, otherwise the message the sender
+// emitted. nil means the edge is silent; a non-nil empty Msg is a present,
+// empty message. Out-of-range slots (including -1 from Slot on a non-edge)
+// read as silent. The returned bytes are shared — do not mutate them.
+func (t *RoundTraffic) Get(s int32) Msg {
+	if s < 0 || int(s) >= len(t.mod) {
+		return nil
+	}
+	if t.dirtyBits[s>>6]&(1<<uint(s&63)) != 0 {
+		return t.mod[s]
+	}
+	return t.buf.msgs[s]
+}
+
+// Set overrides the message delivered on slot s this round: a corruption
+// (non-nil m), an injection on a silent edge, or a drop (nil m). Setting a
+// slot back to a value byte-identical with the sender's message costs no
+// budget — the engine diffs overrides against the collected round, so only
+// real differences count as touched edges. Set panics on an invalid slot;
+// slots come from Slot, EdgeSlots, or All.
+func (t *RoundTraffic) Set(s int32, m Msg) {
+	if s < 0 || int(s) >= len(t.mod) {
+		panic(fmt.Sprintf("congest: RoundTraffic.Set on invalid slot %d", s))
+	}
+	if t.dirtyBits[s>>6]&(1<<uint(s&63)) == 0 {
+		t.dirtyBits[s>>6] |= 1 << uint(s&63)
+		t.dirty = append(t.dirty, s)
+	}
+	t.mod[s] = m
+}
+
+// SetEdge is Set addressed by directed edge instead of slot. When de is not
+// an edge of the graph, a non-nil m is recorded as a non-edge injection —
+// it counts against the round's budget and then aborts the run with the
+// same "injected on non-edge" error the legacy map path produced (a nil m
+// on a non-edge is a no-op, also as before). Adversaries that resolve slots
+// themselves use Set; SetEdge is for edge-addressed writes whose edges may
+// not be validated (e.g. user-supplied schedules).
+func (t *RoundTraffic) SetEdge(de graph.DirEdge, m Msg) {
+	if s := t.buf.layout.slot(de.From, de.To); s >= 0 {
+		t.Set(s, m)
+		return
+	}
+	if m != nil {
+		t.injectInvalid(de)
+	}
+}
+
+// All iterates the slots carrying a message in the round's collected
+// (pre-adversary) traffic, in canonical ascending (sender, receiver) order.
+// The adversary's own Set overrides are not reflected here — read them back
+// with Get.
+func (t *RoundTraffic) All() iter.Seq2[int32, Msg] {
+	t.buf.sortTouched()
+	return func(yield func(int32, Msg) bool) {
+		for _, s := range t.buf.touched {
+			if !yield(s, t.buf.msgs[s]) {
+				return
+			}
+		}
+	}
+}
+
+// Traffic returns the round's collected traffic as the legacy map view,
+// materialized lazily and cached for the round. It exists for map-based
+// TrafficAdversary code behind AdaptTraffic; slot-native adversaries should
+// never call it (the whole point of the slot interface is that fault rounds
+// allocate no maps). The map and its messages are read-only.
+func (t *RoundTraffic) Traffic() Traffic { return t.buf.materialize() }
+
+// injectInvalid records a non-edge injection from the compat adapter. It is
+// budget-accounted like any touched edge and then aborts the round after the
+// budget verdict, matching the legacy map path.
+func (t *RoundTraffic) injectInvalid(de graph.DirEdge) {
+	t.invalid = append(t.invalid, de)
+}
+
+// settle diffs the adversary's overlay against the collected round. It
+// returns the touched undirected edges in sorted order (the budget unit and
+// the observers' Corrupted view) and, when the adversary injected on a
+// non-edge, the error to abort the round with — after the caller's budget
+// verdict, exactly like the legacy map path. The returned slice is scratch,
+// valid until the next round.
+func (t *RoundTraffic) settle() ([]graph.Edge, error) {
+	t.changed = t.changed[:0]
+	t.undirList = t.undirList[:0]
+	for _, s := range t.dirty {
+		if msgSame(t.buf.msgs[s], t.mod[s]) {
+			continue
+		}
+		t.changed = append(t.changed, s)
+		u := t.buf.layout.undir[s]
+		if !t.undirMark[u] {
+			t.undirMark[u] = true
+			t.undirList = append(t.undirList, u)
+		}
+	}
+	edges := t.edgesOut[:0]
+	allEdges := t.buf.layout.g.Edges()
+	for _, u := range t.undirList {
+		edges = append(edges, allEdges[u])
+		t.undirMark[u] = false
+	}
+	var err error
+	if len(t.invalid) > 0 {
+		// Non-edges can never collide with graph edges, so deduplication is
+		// only among the (few) invalid injections themselves. The reported
+		// offender is the smallest, keeping the error deterministic (the
+		// legacy path reported whichever map iteration found first).
+		report := t.invalid[0]
+		for _, de := range t.invalid {
+			if de.From < report.From || (de.From == report.From && de.To < report.To) {
+				report = de
+			}
+			e := de.Undirected()
+			dup := false
+			for _, have := range edges[len(t.undirList):] {
+				if have == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				edges = append(edges, e)
+			}
+		}
+		err = fmt.Errorf("congest: adversary injected on non-edge (%d,%d)", report.From, report.To)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	t.edgesOut = edges
+	if len(edges) == 0 {
+		return nil, err
+	}
+	return edges, err
+}
+
+// apply folds the settled overlay into the round buffer, which becomes the
+// delivered round. Must follow settle (it consumes the changed list).
+func (t *RoundTraffic) apply() {
+	if len(t.changed) == 0 {
+		return
+	}
+	b := t.buf
+	b.view = nil // the cached map (if any) showed pre-adversary traffic
+	dropped := false
+	for _, s := range t.changed {
+		switch m := t.mod[s]; {
+		case m == nil:
+			b.msgs[s] = nil
+			dropped = true
+		case b.msgs[s] == nil:
+			b.put(s, m)
+		default:
+			b.msgs[s] = m
+		}
+	}
+	if dropped {
+		// Compact the occupancy list in place; filtering preserves order, so
+		// the sorted flag stays valid.
+		kept := b.touched[:0]
+		for _, s := range b.touched {
+			if b.msgs[s] != nil {
+				kept = append(kept, s)
+			}
+		}
+		b.touched = kept
+	}
+}
+
+// msgSame reports whether two messages are identical including presence:
+// nil (silent edge) differs from a present empty message.
+func msgSame(a, b Msg) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return msgEqual(a, b)
+}
+
+// trafficAdapter bridges a legacy map-based TrafficAdversary onto the
+// slot-native boundary: it materializes the round's map view, runs the
+// wrapped adversary, and diffs the returned map back into slot overrides.
+type trafficAdapter struct {
+	a TrafficAdversary
+}
+
+// AdaptTraffic wraps a legacy map-based adversary for use as the engine's
+// Adversary. The wrapped adversary keeps its exact legacy semantics —
+// budget interfaces (PerRoundBudget, TotalBudget) and RunResetter declared
+// on it are honoured through the adapter, returning the very map received
+// costs nothing, and injecting on a non-edge aborts the run — at the price
+// of one map materialization per round. Port hot adversaries to the
+// slot-native interface instead.
+func AdaptTraffic(a TrafficAdversary) Adversary { return trafficAdapter{a: a} }
+
+// Unwrap exposes the wrapped adversary so the engine can find its budget and
+// run-reset declarations (and callers their concrete type).
+func (ad trafficAdapter) Unwrap() any { return ad.a }
+
+// Intercept implements Adversary.
+func (ad trafficAdapter) Intercept(round int, rt *RoundTraffic) {
+	in := rt.Traffic()
+	out := ad.a.Intercept(round, in)
+	if sameMap(out, in) {
+		return
+	}
+	// Slots present in the collected round: modified or dropped.
+	for s, m := range rt.All() {
+		d, ok := out[rt.DirEdge(s)]
+		switch {
+		case !ok:
+			rt.Set(s, nil)
+		case d == nil:
+			// Explicit nil values normalize to present-empty, as the legacy
+			// loadFrom did.
+			if len(m) != 0 {
+				rt.Set(s, Msg{})
+			}
+		case !msgEqual(m, d):
+			rt.Set(s, d)
+		}
+	}
+	// Entries beyond the collected round: injections (possibly on non-edges).
+	for de, d := range out {
+		s := rt.Slot(de.From, de.To)
+		if s < 0 {
+			rt.injectInvalid(de)
+			continue
+		}
+		if rt.buf.msgs[s] == nil {
+			if d == nil {
+				d = Msg{}
+			}
+			rt.Set(s, d)
+		}
+	}
+}
+
+// sameMap reports whether two traffic maps are the very same map value —
+// the adapter's fast path for adversaries returning their input unchanged.
+func sameMap(a, b Traffic) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
+}
+
+// unwrapAdversary returns the adversary the budget and run-reset interfaces
+// should be looked up on: the wrapped legacy adversary for compat adapters,
+// the adversary itself otherwise.
+func unwrapAdversary(a Adversary) any {
+	if u, ok := a.(interface{ Unwrap() any }); ok {
+		return u.Unwrap()
+	}
+	return a
+}

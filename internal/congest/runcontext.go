@@ -1,0 +1,102 @@
+package congest
+
+import (
+	"math/rand"
+
+	"mobilecongest/internal/graph"
+)
+
+// RunContext holds the per-graph simulation state a run builds before its
+// first round: the CSR edge layout, the reusable round buffer and the
+// adversary-boundary scratch, the node-core slab with its per-node RNGs, the
+// inbox fan-out slice, and the internal statistics observer. Rebuilding all
+// of that per run dominates the setup cost of short runs; a RunContext lets
+// repeated runs — a Scenario executed in a loop, a sweep worker grinding
+// through cells on the same topology — reuse the allocations instead.
+//
+// A context binds lazily to the graph of the first run executed in it and
+// rebinds (rebuilding its state) whenever a run arrives with a different
+// *graph.Graph. Binding is by pointer identity: reuse pays off only when the
+// caller also reuses the Graph value, which Scenario and Sweep do.
+//
+// A RunContext serves one run at a time; sharing one between concurrent runs
+// is a data race. Concurrent callers use one context each (Sweep gives every
+// worker its own).
+type RunContext struct {
+	g       *graph.Graph
+	layout  *edgeLayout
+	cur     *roundBuffer
+	rt      *RoundTraffic
+	cores   []nodeCore
+	inboxes []map[graph.NodeID]Msg
+	stats   *StatsObserver
+	seeder  *rand.Rand
+	rngs    []*rand.Rand
+}
+
+// NewRunContext returns an empty context; it binds to a graph on first use.
+func NewRunContext() *RunContext { return &RunContext{} }
+
+// ContextRunner is implemented by engines that can execute a run inside a
+// reusable RunContext. Both built-in engines implement it; Engine.Run is
+// equivalent to RunIn with a fresh context.
+type ContextRunner interface {
+	// RunIn executes proto on every node of cfg.Graph, reusing rc's state
+	// (rebinding it if cfg.Graph differs from the context's current graph).
+	RunIn(rc *RunContext, cfg Config, proto Protocol) (*Result, error)
+}
+
+// bind points the context at g, rebuilding the graph-shaped state unless the
+// context is already bound to the very same graph.
+func (rc *RunContext) bind(g *graph.Graph) {
+	if rc.g == g {
+		return
+	}
+	rc.g = g
+	rc.layout = newEdgeLayout(g)
+	rc.cur = newRoundBuffer(rc.layout)
+	rc.rt = newRoundTraffic(rc.layout)
+	rc.cores = make([]nodeCore, g.N())
+	rc.inboxes = make([]map[graph.NodeID]Msg, g.N())
+	rc.stats = NewStatsObserver()
+	// rc.rngs is deliberately kept: per-node RNGs are graph-independent and
+	// re-seeded per run, so they survive rebinding.
+}
+
+// nodeCores (re)derives the per-node state for a run. Node randomness is
+// seeded from seed in node-index order, so every engine — and every run
+// reusing this context — hands node i the same RNG stream for the same seed.
+// The RNG values themselves are reused across runs (re-seeding resets their
+// state, including the Read position), which saves the dominant per-run
+// allocation: one ~5KB rand source per node.
+func (rc *RunContext) nodeCores(cfg Config) []nodeCore {
+	if rc.seeder == nil {
+		rc.seeder = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		rc.seeder.Seed(cfg.Seed)
+	}
+	for len(rc.rngs) < rc.g.N() {
+		rc.rngs = append(rc.rngs, nil)
+	}
+	for i := range rc.cores {
+		var input []byte
+		if cfg.Inputs != nil {
+			input = cfg.Inputs[i]
+		}
+		s := rc.seeder.Int63()
+		if rc.rngs[i] == nil {
+			rc.rngs[i] = rand.New(rand.NewSource(s))
+		} else {
+			rc.rngs[i].Seed(s)
+		}
+		rc.cores[i] = nodeCore{
+			id:        graph.NodeID(i),
+			neighbors: rc.g.Neighbors(graph.NodeID(i)),
+			rng:       rc.rngs[i],
+			input:     input,
+			n:         rc.g.N(),
+			shared:    cfg.Shared,
+		}
+	}
+	return rc.cores
+}

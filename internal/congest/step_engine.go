@@ -51,8 +51,15 @@ func (s *stepNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
 }
 
 // Run implements Engine.
-func (StepEngine) Run(cfg Config, proto Protocol) (res *Result, err error) {
-	core, err := newRunCore(cfg)
+func (e StepEngine) Run(cfg Config, proto Protocol) (*Result, error) {
+	return e.RunIn(nil, cfg, proto)
+}
+
+// RunIn implements ContextRunner: it executes the run inside rc, reusing the
+// context's layout, buffers, node cores, and RNGs (nil rc runs in a fresh
+// throwaway context).
+func (StepEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Result, err error) {
+	core, err := newRunCore(rc, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +91,7 @@ func (StepEngine) Run(cfg Config, proto Protocol) (res *Result, err error) {
 	}()
 
 	nActive := g.N()
-	inboxes := make([]map[graph.NodeID]Msg, g.N())
+	inboxes := core.rc.inboxes
 
 	for nActive > 0 {
 		if err := core.beginRound(); err != nil {

@@ -220,7 +220,7 @@ func runT9(seed int64) (*Table, error) {
 	}{
 		{"random-flip", adversary.SelectRandom, adversary.CorruptFlip},
 		{"busiest-rand", adversary.SelectBusiest, adversary.CorruptRandomize},
-		{"rotate-drop", adversary.SelectRotating(), adversary.CorruptDrop},
+		{"rotate-drop", adversary.SelectRotating, adversary.CorruptDrop},
 	}
 	for _, gc := range graphs {
 		for _, pc := range payloads {

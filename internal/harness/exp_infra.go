@@ -174,7 +174,10 @@ func runF5(seed int64) (*Table, error) {
 	return tb, nil
 }
 
-// flipScheduled XOR-corrupts both directions of scheduled edges.
+// flipScheduled XOR-corrupts both directions of scheduled edges. It is
+// slot-native: each scheduled edge resolves to its two directed slots and
+// only present messages are cloned and overridden, so corruption rounds
+// allocate nothing beyond the corrupted payloads.
 type flipScheduled struct {
 	sched [][]graph.Edge
 }
@@ -182,23 +185,27 @@ type flipScheduled struct {
 func newFlipScheduled(s [][]graph.Edge) *flipScheduled { return &flipScheduled{sched: s} }
 
 // Intercept flips scheduled edges' traffic.
-func (s *flipScheduled) Intercept(round int, tr congest.Traffic) congest.Traffic {
-	if round >= len(s.sched) || len(s.sched[round]) == 0 {
-		return tr
+func (s *flipScheduled) Intercept(round int, tr *congest.RoundTraffic) {
+	if round >= len(s.sched) {
+		return
 	}
-	out := tr.Clone()
 	for _, e := range s.sched[round] {
-		for _, de := range []graph.DirEdge{{From: e.U, To: e.V}, {From: e.V, To: e.U}} {
-			if m, ok := out[de]; ok {
-				c := m.Clone()
-				for i := range c {
-					c[i] ^= 0xA5
-				}
-				out[de] = c
+		fwd, bwd := tr.EdgeSlots(e)
+		for _, slot := range [2]int32{fwd, bwd} {
+			if slot < 0 {
+				continue
 			}
+			m := tr.Get(slot)
+			if m == nil {
+				continue
+			}
+			c := m.Clone()
+			for i := range c {
+				c[i] ^= 0xA5
+			}
+			tr.Set(slot, c)
 		}
 	}
-	return out
 }
 
 // PerRoundEdges bounds the schedule width.

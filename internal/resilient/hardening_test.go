@@ -12,7 +12,9 @@ import (
 
 // selectTreeEdges is the worst-case-informed strategy: it knows the packing
 // (as the paper's all-powerful adversary does) and rotates through tree
-// edges only, maximizing the number of tree protocols it disturbs.
+// edges only, maximizing the number of tree protocols it disturbs. The
+// rotation cursor lives in the per-run SelectorState, not the closure, so
+// the Selector value is reusable across runs.
 func selectTreeEdges(sh *Shared) adversary.Selector {
 	var treeEdges []graph.Edge
 	seen := make(map[graph.Edge]bool)
@@ -24,13 +26,12 @@ func selectTreeEdges(sh *Shared) adversary.Selector {
 			}
 		}
 	}
-	offset := 0
-	return func(_ *rand.Rand, _ int, _ *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+	return func(st *adversary.SelectorState, _ *rand.Rand, _ int, _ *graph.Graph, _ *congest.RoundTraffic, f int) []graph.Edge {
 		out := make([]graph.Edge, 0, f)
 		for i := 0; i < f && i < len(treeEdges); i++ {
-			out = append(out, treeEdges[(offset+i)%len(treeEdges)])
+			out = append(out, treeEdges[(st.Rotation+i)%len(treeEdges)])
 		}
-		offset = (offset + f) % maxInt(1, len(treeEdges))
+		st.Rotation = (st.Rotation + f) % maxInt(1, len(treeEdges))
 		return out
 	}
 }

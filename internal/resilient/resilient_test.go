@@ -104,7 +104,7 @@ func TestSparseCompilerCliqueUnderMobileByzantine(t *testing.T) {
 		{"random-flip", adversary.SelectRandom, adversary.CorruptFlip},
 		{"random-randomize", adversary.SelectRandom, adversary.CorruptRandomize},
 		{"busiest-flip", adversary.SelectBusiest, adversary.CorruptFlip},
-		{"rotating-drop", adversary.SelectRotating(), adversary.CorruptDrop},
+		{"rotating-drop", adversary.SelectRotating, adversary.CorruptDrop},
 		{"incident-inject", adversary.SelectIncident(graph.NodeID(n - 1)), adversary.CorruptInject},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

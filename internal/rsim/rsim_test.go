@@ -239,7 +239,9 @@ func TestRSThreshold(t *testing.T) {
 				sched = append(sched, nil)
 			}
 		}
-		return &scheduledCorruptor{sched: sched}
+		// scheduledCorruptor is map-based on purpose: it keeps the legacy
+		// TrafficAdversary path exercised through the compat adapter.
+		return congest.AdaptTraffic(&scheduledCorruptor{sched: sched})
 	}
 	res, err := congest.Run(congest.Config{Graph: g, Seed: 2, Adversary: mkAdv(2, 5), Shared: Views(p)}, proto)
 	if err != nil {

@@ -35,6 +35,13 @@
 // resumed as coroutine step functions on one scheduler goroutine — the fast
 // default). Both produce identical Results for identical scenarios.
 //
+// The adversary boundary is slot-native: an Adversary reads and corrupts
+// each round through a RoundTraffic view over the run's flat edge layout, so
+// adversarial rounds materialize no traffic maps; legacy map-based
+// adversaries keep working behind AdaptTraffic. Repeated Run calls on one
+// Scenario, and every Sweep worker, reuse a RunContext that amortizes the
+// run's layout, buffers, and RNG state across runs.
+//
 // Parameter sweeps fan a Grid of scenarios out across GOMAXPROCS workers with
 // deterministic per-cell seeds and return JSON-serializable Records:
 //
@@ -79,9 +86,26 @@ type (
 	RunConfig = congest.Config
 	// Result is a run outcome.
 	Result = congest.Result
-	// Adversary intercepts round traffic.
+	// Adversary intercepts round traffic through the slot-native
+	// RoundTraffic view.
 	Adversary = congest.Adversary
+	// RoundTraffic is the slot-indexed view of one round's traffic handed
+	// to adversaries.
+	RoundTraffic = congest.RoundTraffic
+	// TrafficAdversary is the legacy map-based adversary interface; install
+	// one with AdaptTraffic.
+	TrafficAdversary = congest.TrafficAdversary
+	// RunContext is the reusable per-graph run state Scenario and Sweep
+	// amortize across repeated runs.
+	RunContext = congest.RunContext
 )
+
+// AdaptTraffic wraps a legacy map-based adversary for use anywhere an
+// Adversary is expected (WithAdversary, RunConfig.Adversary, registries).
+// The wrapped adversary keeps its exact map semantics at the price of one
+// traffic-map materialization per round; see the README's "Writing a custom
+// adversary" section for migrating to the slot-native interface.
+func AdaptTraffic(a TrafficAdversary) Adversary { return congest.AdaptTraffic(a) }
 
 // Run executes a protocol on a graph with the goroutine engine; see
 // congest.Run.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -146,6 +147,19 @@ func init() {
 			return nil, fmt.Errorf("mobilecongest: hypercube needs a power-of-two n, got %d", n)
 		}
 		return graph.Hypercube(bits.TrailingZeros(uint(n))), nil
+	})
+	RegisterTopology("expander", func(n, k int) (*Graph, error) {
+		d := k
+		if d <= 0 {
+			d = 8
+		}
+		if d >= n || n*d%2 != 0 {
+			return nil, fmt.Errorf("mobilecongest: expander needs degree < n and n*degree even, got n=%d degree=%d", n, d)
+		}
+		// The draw is seeded from (n, d), so a given cell always sweeps the
+		// very same graph — the family is a registry of fixed expanders, not
+		// a fresh sample per run.
+		return graph.RandomRegular(n, d, rand.New(rand.NewSource(int64(n)*1_000_003+int64(d)))), nil
 	})
 
 	RegisterAdversary("none", func(*Graph, int, int64) (Adversary, error) {

@@ -38,6 +38,10 @@ const advSeedMix = 0x6d6f62696c65 // "mobile"
 //
 // A Scenario is the single entry point for running simulations — it replaces
 // hand-rolled congest.Config literals — and is the unit a Sweep fans out.
+// Repeated Run calls on one Scenario reuse a congest.RunContext, amortizing
+// the per-run state (edge layout, round buffers, node cores, RNGs) across
+// runs; a Scenario is therefore not safe for concurrent Run calls (it never
+// was — the topology cache already mutated the value).
 type Scenario struct {
 	name      string
 	g         *Graph
@@ -54,7 +58,8 @@ type Scenario struct {
 	shared    any
 	inputs    [][]byte
 	observers []Observer
-	err       error // first configuration error, surfaced at Run
+	runCtx    *congest.RunContext // reused across repeated Run calls
+	err       error               // first configuration error, surfaced at Run
 }
 
 // ScenarioOption configures a Scenario.
@@ -197,6 +202,16 @@ func (s *Scenario) Engine() Engine {
 
 // Run resolves the scenario and executes it.
 func (s *Scenario) Run() (*Result, error) {
+	if s.runCtx == nil {
+		s.runCtx = congest.NewRunContext()
+	}
+	return s.runIn(s.runCtx)
+}
+
+// runIn executes the scenario inside the given run context, which a caller
+// making many runs over the same graph (Sweep workers, the Scenario's own
+// repeated Run calls) reuses to amortize per-run allocations.
+func (s *Scenario) runIn(rc *congest.RunContext) (*Result, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
@@ -214,7 +229,7 @@ func (s *Scenario) Run() (*Result, error) {
 			return nil, err
 		}
 	}
-	res, runErr := s.Engine().Run(congest.Config{
+	cfg := congest.Config{
 		Graph:     g,
 		Seed:      s.seed,
 		MaxRounds: s.maxRounds,
@@ -222,7 +237,16 @@ func (s *Scenario) Run() (*Result, error) {
 		Inputs:    s.inputs,
 		Shared:    s.shared,
 		Observers: s.observers,
-	}, s.proto)
+	}
+	var res *Result
+	var runErr error
+	if cr, ok := s.Engine().(congest.ContextRunner); ok {
+		res, runErr = cr.RunIn(rc, cfg, s.proto)
+	} else {
+		// Externally registered engines may predate RunContext; they still
+		// work, just without cross-run reuse.
+		res, runErr = s.Engine().Run(cfg, s.proto)
+	}
 	if runErr != nil && s.name != "" {
 		return nil, fmt.Errorf("scenario %s: %w", s.name, runErr)
 	}

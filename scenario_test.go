@@ -85,6 +85,37 @@ func TestScenarioDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestScenarioReusedAdversaryInstanceDeterministic: a Scenario holding one
+// stateful adversary INSTANCE (WithAdversary, not a registry name) re-runs
+// identically: the engine resets the adversary's per-run state (RNG stream,
+// spent budget, rotation cursors) at every run start, and the Scenario's
+// reused RunContext leaks nothing between runs.
+func TestScenarioReusedAdversaryInstanceDeterministic(t *testing.T) {
+	g := NewCirculant(12, 2)
+	s := NewScenario(
+		WithGraph(g),
+		WithProtocol(algorithms.FloodMax(7)),
+		WithAdversary(NewMobileByzantine(g, 2, 11)),
+		WithSeed(9),
+	)
+	r1, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.CorruptedEdgeRounds == 0 {
+		t.Fatal("byzantine instance corrupted nothing")
+	}
+	for rep := 0; rep < 2; rep++ {
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats != r1.Stats || !reflect.DeepEqual(r.Outputs, r1.Outputs) {
+			t.Fatalf("re-run %d with a reused adversary instance diverged:\n first %+v\n rerun %+v", rep, r1.Stats, r.Stats)
+		}
+	}
+}
+
 func TestScenarioErrors(t *testing.T) {
 	if _, err := NewScenario(WithProtocol(algorithms.FloodMax(1))).Run(); err == nil {
 		t.Fatal("scenario without graph accepted")
@@ -160,6 +191,18 @@ func TestRegistryContents(t *testing.T) {
 		if _, err := BuildTopology(want, 8, 0); err != nil {
 			t.Fatalf("builtin topology %s: %v", want, err)
 		}
+	}
+	// Expanders need d < n; the same (n, k) cell always builds the same graph.
+	e1, err := BuildTopology("expander", 16, 4)
+	if err != nil {
+		t.Fatalf("builtin topology expander: %v", err)
+	}
+	e2, _ := BuildTopology("expander", 16, 4)
+	if !reflect.DeepEqual(e1.Edges(), e2.Edges()) {
+		t.Fatal("expander topology not deterministic for fixed (n, k)")
+	}
+	if _, err := BuildTopology("expander", 8, 9); err == nil {
+		t.Fatal("expander with degree >= n accepted")
 	}
 	g, err := BuildTopology("clique", 6, 0)
 	if err != nil {

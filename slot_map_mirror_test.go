@@ -1,0 +1,214 @@
+package mobilecongest
+
+// Map-based mirrors of the slot-native adversaries, replicating the pre-slot
+// Traffic implementations line for line. They exist only for the slot-vs-map
+// leg of TestEngineEquivalenceProperty: running them through the AdaptTraffic
+// compat adapter must be byte-indistinguishable from the slot-native
+// originals, which pins both the port of internal/adversary and the adapter
+// semantics. They draw from their RNGs in exactly the same order as the
+// slot-native code, so any divergence is a real behavioral difference, not
+// randomness skew.
+
+import (
+	"math/rand"
+	"sort"
+
+	"mobilecongest/internal/adversary"
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+// mapEavesdropper mirrors the pre-slot Eavesdropper (mobile mode).
+type mapEavesdropper struct {
+	g    *graph.Graph
+	f    int
+	rng  *rand.Rand
+	view []adversary.Observation
+}
+
+func (a *mapEavesdropper) PerRoundEdges() int { return a.f }
+
+func (a *mapEavesdropper) Intercept(round int, tr congest.Traffic) congest.Traffic {
+	for _, e := range mapRandomEdges(a.g, a.f, a.rng) {
+		for _, de := range []graph.DirEdge{{From: e.U, To: e.V}, {From: e.V, To: e.U}} {
+			if m, ok := tr[de]; ok {
+				a.view = append(a.view, adversary.Observation{Round: round, Edge: de, Data: m.Clone()})
+			}
+		}
+	}
+	return tr
+}
+
+func (a *mapEavesdropper) viewBytes() []byte {
+	obs := make([]adversary.Observation, len(a.view))
+	copy(obs, a.view)
+	sort.Slice(obs, func(i, j int) bool {
+		if obs[i].Round != obs[j].Round {
+			return obs[i].Round < obs[j].Round
+		}
+		if obs[i].Edge.From != obs[j].Edge.From {
+			return obs[i].Edge.From < obs[j].Edge.From
+		}
+		return obs[i].Edge.To < obs[j].Edge.To
+	})
+	var out []byte
+	for _, o := range obs {
+		out = congest.PutU32(out, uint32(o.Round))
+		out = congest.PutU32(out, uint32(o.Edge.From))
+		out = congest.PutU32(out, uint32(o.Edge.To))
+		out = append(out, o.Data...)
+	}
+	return out
+}
+
+// mapSelector is the pre-slot Selector signature.
+type mapSelector func(rng *rand.Rand, round int, g *graph.Graph, tr congest.Traffic, f int) []graph.Edge
+
+func mapSelectRandom(rng *rand.Rand, _ int, g *graph.Graph, _ congest.Traffic, f int) []graph.Edge {
+	return mapRandomEdges(g, f, rng)
+}
+
+func mapSelectBusiest(_ *rand.Rand, _ int, _ *graph.Graph, tr congest.Traffic, f int) []graph.Edge {
+	load := make(map[graph.Edge]int)
+	for de, m := range tr {
+		load[de.Undirected()] += len(m)
+	}
+	edges := make([]graph.Edge, 0, len(load))
+	for e := range load {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if load[edges[i]] != load[edges[j]] {
+			return load[edges[i]] > load[edges[j]]
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	if len(edges) > f {
+		edges = edges[:f]
+	}
+	return edges
+}
+
+func mapRandomEdges(g *graph.Graph, f int, rng *rand.Rand) []graph.Edge {
+	edges := g.Edges()
+	if f >= len(edges) {
+		out := make([]graph.Edge, len(edges))
+		copy(out, edges)
+		return out
+	}
+	perm := rng.Perm(len(edges))[:f]
+	out := make([]graph.Edge, f)
+	for i, p := range perm {
+		out[i] = edges[p]
+	}
+	return out
+}
+
+// mapByzantine mirrors the pre-slot Byzantine, including static and
+// round-error-rate modes.
+type mapByzantine struct {
+	g           *graph.Graph
+	f           int
+	rng         *rand.Rand
+	corrupt     adversary.Corruption
+	sel         mapSelector
+	staticMode  bool
+	fixed       []graph.Edge
+	totalBudget int
+	spent       int
+	burst       []int
+}
+
+func newMapByzantine(g *graph.Graph, f int, seed int64, sel mapSelector, cor adversary.Corruption) *mapByzantine {
+	return &mapByzantine{g: g, f: f, rng: rand.New(rand.NewSource(seed)), corrupt: cor, sel: sel}
+}
+
+func (b *mapByzantine) PerRoundEdges() int {
+	if b.totalBudget > 0 {
+		m := 0
+		for _, v := range b.burst {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	return b.f
+}
+
+func (b *mapByzantine) TotalEdgeRounds() int {
+	if b.totalBudget > 0 {
+		return b.totalBudget
+	}
+	return 1 << 40
+}
+
+func (b *mapByzantine) Intercept(round int, tr congest.Traffic) congest.Traffic {
+	budget := b.f
+	if b.totalBudget > 0 {
+		budget = b.burst[round%len(b.burst)]
+		if rem := b.totalBudget - b.spent; budget > rem {
+			budget = rem
+		}
+	}
+	if budget <= 0 {
+		return tr
+	}
+	var edges []graph.Edge
+	if b.staticMode {
+		if b.fixed == nil {
+			b.fixed = b.sel(b.rng, round, b.g, tr, b.f)
+		}
+		edges = b.fixed
+	} else {
+		edges = b.sel(b.rng, round, b.g, tr, budget)
+	}
+	if len(edges) > budget {
+		edges = edges[:budget]
+	}
+	out := tr.Clone()
+	touched := 0
+	for _, e := range edges {
+		fwdKey := graph.DirEdge{From: e.U, To: e.V}
+		bwdKey := graph.DirEdge{From: e.V, To: e.U}
+		fwd, bwd := out[fwdKey], out[bwdKey]
+		nf, nb := b.corrupt(b.rng, round, e, fwd, bwd)
+		changed := false
+		if !mapMsgEq(nf, fwd) {
+			changed = true
+			if nf == nil {
+				delete(out, fwdKey)
+			} else {
+				out[fwdKey] = nf
+			}
+		}
+		if !mapMsgEq(nb, bwd) {
+			changed = true
+			if nb == nil {
+				delete(out, bwdKey)
+			} else {
+				out[bwdKey] = nb
+			}
+		}
+		if changed {
+			touched++
+		}
+	}
+	b.spent += touched
+	return out
+}
+
+func mapMsgEq(a, b congest.Msg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

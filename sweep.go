@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mobilecongest/internal/algorithms"
+	"mobilecongest/internal/congest"
 )
 
 // Record is the JSON-serializable outcome of one sweep cell: the cell's
@@ -204,10 +205,13 @@ func (gr Grid) cells() ([]cell, error) {
 }
 
 // Sweep expands the grid and runs every cell, fanning the work out across
-// GOMAXPROCS workers. The full record set is returned once the sweep
-// completes, in grid order regardless of worker scheduling; per-cell failures
-// are recorded rather than fatal, and only grid configuration errors (unknown
-// registry names, unbuildable topologies) return an error.
+// GOMAXPROCS workers. Every worker owns one reusable congest.RunContext, so
+// consecutive cells on the same topology share the run's layout, buffers,
+// and RNG allocations instead of rebuilding them per cell. The full record
+// set is returned once the sweep completes, in grid order regardless of
+// worker scheduling; per-cell failures are recorded rather than fatal, and
+// only grid configuration errors (unknown registry names, unbuildable
+// topologies) return an error.
 func Sweep(grid Grid) ([]Record, error) {
 	cells, err := grid.cells()
 	if err != nil {
@@ -223,10 +227,11 @@ func Sweep(grid Grid) ([]Record, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rc := congest.NewRunContext()
 			for i := range jobs {
 				c := &cells[i]
 				start := time.Now()
-				res, err := c.scenario.Run()
+				res, err := c.scenario.runIn(rc)
 				c.rec.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 				if err != nil {
 					c.rec.Error = err.Error()

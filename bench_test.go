@@ -38,6 +38,8 @@ func BenchmarkRun(b *testing.B) {
 		{"clique64", mc.NewClique(64), 8, "none"},
 		{"circulant128", mc.NewCirculant(128, 2), 32, "none"},
 		{"circulant256", mc.NewCirculant(256, 4), 16, "none"},
+		{"circulant1024", mc.NewCirculant(1024, 4), 16, "none"},
+		{"expander512", resilient.RandomExpander(512, 8, 11), 16, "none"},
 		{"clique32-flip", mc.NewClique(32), 8, "flip"},
 		{"clique64-flip", mc.NewClique(64), 8, "flip"},
 		{"circulant128-flip", mc.NewCirculant(128, 2), 32, "flip"},

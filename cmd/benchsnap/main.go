@@ -1,0 +1,174 @@
+// benchsnap captures a benchmark snapshot: it runs `go test -bench` with
+// -benchmem, parses the standard benchmark output, and writes a dated JSON
+// file (BENCH_<date>.json) with one record per benchmark — name, ns/op,
+// B/op, allocs/op. CI uploads the file as an artifact on every push, so the
+// perf trajectory of the simulator accumulates machine-readable snapshots
+// instead of living only in CHANGES.md prose.
+//
+// Usage:
+//
+//	benchsnap [-bench BenchmarkRun] [-benchtime 1x] [-count 1] [-pkg .] [-out BENCH_2026-07-26.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one benchmark measurement. When -count > 1, values are means
+// over the runs of the same benchmark name.
+type Record struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// Snapshot is the file format: metadata plus the records.
+type Snapshot struct {
+	Date    string   `json:"date"`
+	Bench   string   `json:"bench"`
+	Count   int      `json:"count"`
+	GoTest  []string `json:"go_test_args"`
+	Records []Record `json:"records"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "BenchmarkRun", "benchmark regex passed to -bench")
+	benchtime := fs.String("benchtime", "", "value for -benchtime (empty: go default)")
+	count := fs.Int("count", 1, "value for -count; records average over runs")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime", *benchtime)
+	}
+	goArgs = append(goArgs, *pkg)
+
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stderr = stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 1
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 1
+	}
+	records, parseErr := parseBench(io.TeeReader(pipe, stdout))
+	waitErr := cmd.Wait()
+	if parseErr != nil {
+		fmt.Fprintln(stderr, "benchsnap: parse:", parseErr)
+		return 1
+	}
+	if waitErr != nil {
+		fmt.Fprintln(stderr, "benchsnap: go test:", waitErr)
+		return 1
+	}
+	snap := Snapshot{Date: date, Bench: *bench, Count: *count, GoTest: goArgs, Records: records}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchsnap: wrote %d records to %s\n", len(records), path)
+	return 0
+}
+
+// benchLine matches standard `go test -bench -benchmem` output:
+//
+//	BenchmarkRun/step/clique64-8  92  12808359 ns/op  2174464 B/op  16780 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench folds benchmark output lines into per-name mean records,
+// preserving first-seen order.
+func parseBench(r io.Reader) ([]Record, error) {
+	byName := map[string]*Record{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := trimGOMAXPROCS(m[1])
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var b, allocs float64
+		if m[4] != "" {
+			b, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			allocs, _ = strconv.ParseFloat(m[5], 64)
+		}
+		rec := byName[name]
+		if rec == nil {
+			rec = &Record{Name: name}
+			byName[name] = rec
+			order = append(order, name)
+		}
+		rec.Runs++
+		rec.Iters += iters
+		rec.NsOp += ns
+		rec.BOp += b
+		rec.AllocsOp += allocs
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, len(order))
+	for _, name := range order {
+		rec := *byName[name]
+		n := float64(rec.Runs)
+		rec.NsOp /= n
+		rec.BOp /= n
+		rec.AllocsOp /= n
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// trimGOMAXPROCS drops the trailing -<procs> suffix go test appends to
+// benchmark names, keeping subbenchmark paths intact.
+func trimGOMAXPROCS(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+BenchmarkRun/step/clique64-8         	      92	  12808359 ns/op	 2174464 B/op	   16780 allocs/op
+BenchmarkRun/step/clique64-8         	     100	  12000001 ns/op	 2174462 B/op	   16780 allocs/op
+BenchmarkRun/goroutine/clique32-8    	     500	   3000000 ns/op	  500000 B/op	    1000 allocs/op
+BenchmarkNoMem-8                     	    1000	      1234 ns/op
+PASS
+`
+	recs, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	r0 := recs[0]
+	if r0.Name != "BenchmarkRun/step/clique64" || r0.Runs != 2 {
+		t.Fatalf("first record wrong: %+v", r0)
+	}
+	if r0.NsOp != (12808359+12000001)/2.0 || r0.AllocsOp != 16780 {
+		t.Fatalf("mean wrong: %+v", r0)
+	}
+	if recs[1].Name != "BenchmarkRun/goroutine/clique32" {
+		t.Fatalf("order not preserved: %+v", recs[1])
+	}
+	if recs[2].Name != "BenchmarkNoMem" || recs[2].BOp != 0 {
+		t.Fatalf("memless line wrong: %+v", recs[2])
+	}
+}
+
+func TestTrimGOMAXPROCS(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkRun/step/clique64-8": "BenchmarkRun/step/clique64",
+		"BenchmarkRun/step/clique64":   "BenchmarkRun/step/clique64",
+		"BenchmarkX-foo":               "BenchmarkX-foo",
+	} {
+		if got := trimGOMAXPROCS(in); got != want {
+			t.Fatalf("trimGOMAXPROCS(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

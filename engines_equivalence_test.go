@@ -21,7 +21,14 @@ import (
 // either engine — a reordered RNG draw, a miscounted round, an
 // inbox-dependent branch — shows up here.
 //
-// Every trial with an adversary additionally runs a third leg: the same
+// Every trial additionally runs a port-vs-map protocol leg: the same
+// protocol logic written against the legacy map Exchange (exercising the
+// engines' compat wrapper over ports) on both engines, which must be
+// byte-identical to the port-native run in Results, traces, and
+// eavesdropper views — the regression contract for the port-native node
+// runtime and its compat wrapper.
+//
+// Every trial with an adversary additionally runs a further leg: the same
 // parameters through a map-based mirror of the adversary (replicating the
 // pre-slot Traffic implementation) behind the AdaptTraffic compat adapter.
 // The slot-native and map paths must produce byte-identical Results,
@@ -59,6 +66,9 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 
 	// randomLoad stresses everything at once: private randomness, variable
 	// message sizes, silent rounds, and data-dependent early termination.
+	// The map form is the historical implementation; the port form draws
+	// randomness in the same ascending-neighbour order, so the two emit
+	// byte-identical traffic — the port-vs-map protocol leg below pins that.
 	randomLoad := func(rounds int) Protocol {
 		return func(rt congest.Runtime) {
 			acc := uint64(rt.ID())
@@ -83,19 +93,93 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 			rt.SetOutput(acc)
 		}
 	}
+	portRandomLoad := func(rounds int) Protocol {
+		return func(rt congest.Runtime) {
+			pr := congest.Ports(rt)
+			acc := uint64(rt.ID())
+			for r := 0; r < rounds; r++ {
+				out := pr.OutBuf()
+				for p := range out {
+					if rt.Rand().Intn(3) == 0 {
+						continue // silent edge this round
+					}
+					m := make(congest.Msg, 1+rt.Rand().Intn(24))
+					rt.Rand().Read(m)
+					out[p] = m
+				}
+				in := pr.ExchangePorts(out)
+				for _, m := range in {
+					if m == nil {
+						continue
+					}
+					acc ^= congest.U64(m) + uint64(len(m))
+				}
+				if acc%13 == 0 {
+					break // early, data-dependent termination
+				}
+			}
+			rt.SetOutput(acc)
+		}
+	}
+	// mapFloodMax and mapBroadcast replicate the pre-port map
+	// implementations of the algorithms package protocols verbatim.
+	mapFloodMax := func(rounds int) Protocol {
+		return func(rt congest.Runtime) {
+			best := uint64(rt.ID())
+			for r := 0; r < rounds; r++ {
+				out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
+				for _, v := range rt.Neighbors() {
+					out[v] = congest.U64Msg(best)
+				}
+				in := rt.Exchange(out)
+				for _, m := range in {
+					if v := congest.U64(m); v > best {
+						best = v
+					}
+				}
+			}
+			rt.SetOutput(best)
+		}
+	}
+	mapBroadcast := func(root graph.NodeID, value uint64, rounds int) Protocol {
+		return func(rt congest.Runtime) {
+			var have uint64
+			if rt.ID() == root {
+				have = value
+			}
+			for r := 0; r < rounds; r++ {
+				out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
+				for _, v := range rt.Neighbors() {
+					out[v] = congest.U64Msg(have)
+				}
+				in := rt.Exchange(out)
+				if have == 0 {
+					for _, m := range in {
+						if v := congest.U64(m); v != 0 && (have == 0 || v < have) {
+							have = v
+						}
+					}
+				}
+			}
+			rt.SetOutput(have)
+		}
+	}
 
-	protoFams := []func(g *graph.Graph, r *rand.Rand) (string, Protocol){
-		func(g *graph.Graph, r *rand.Rand) (string, Protocol) {
+	// Each family yields the port-native protocol plus a map-Exchange mirror
+	// of the same logic, for the port-vs-map compat leg.
+	protoFams := []func(g *graph.Graph, r *rand.Rand) (string, Protocol, Protocol){
+		func(g *graph.Graph, r *rand.Rand) (string, Protocol, Protocol) {
 			rounds := g.Diameter() + 1 + r.Intn(3)
-			return fmt.Sprintf("floodmax(%d)", rounds), algorithms.FloodMax(rounds)
+			return fmt.Sprintf("floodmax(%d)", rounds), algorithms.FloodMax(rounds), mapFloodMax(rounds)
 		},
-		func(g *graph.Graph, r *rand.Rand) (string, Protocol) {
+		func(g *graph.Graph, r *rand.Rand) (string, Protocol, Protocol) {
 			rounds := g.Diameter() + 1
-			return fmt.Sprintf("broadcast(%d)", rounds), algorithms.Broadcast(0, r.Uint64()%1000, rounds)
+			val := r.Uint64() % 1000
+			return fmt.Sprintf("broadcast(%d)", rounds), algorithms.Broadcast(0, val, rounds), mapBroadcast(0, val, rounds)
 		},
-		func(g *graph.Graph, r *rand.Rand) (string, Protocol) {
+		func(g *graph.Graph, r *rand.Rand) (string, Protocol, Protocol) {
 			rounds := 3 + r.Intn(6)
-			return fmt.Sprintf("randomload(%d)", rounds), randomLoad(rounds)
+			return fmt.Sprintf("randomload(%d)", rounds), portRandomLoad(rounds), randomLoad(rounds)
 		},
 	}
 
@@ -184,24 +268,24 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 
 	for trial := 0; trial < trials; trial++ {
 		gname, g := graphFams[rng.Intn(len(graphFams))](rng)
-		pname, proto := protoFams[rng.Intn(len(protoFams))](g, rng)
+		pname, proto, mapProto := protoFams[rng.Intn(len(protoFams))](g, rng)
 		f := 1 + rng.Intn(3)
 		advSeed := rng.Int63()
 		fam := advFams[rng.Intn(len(advFams))](g, f, advSeed)
 		seed := rng.Int63()
 		label := fmt.Sprintf("trial %d: %s/%s/%s f=%d seed=%d", trial, gname, pname, fam.name, f, seed)
 
-		run := func(e Engine, mk func() congest.Adversary) (*Result, congest.Adversary, *TraceObserver, error) {
+		run := func(e Engine, mk func() congest.Adversary, p Protocol) (*Result, congest.Adversary, *TraceObserver, error) {
 			adv := mk()
 			tr := NewTraceObserver()
 			res, err := e.Run(congest.Config{
 				Graph: g, Seed: seed, Adversary: adv, MaxRounds: 1 << 16,
 				Observers: []congest.Observer{tr},
-			}, proto)
+			}, p)
 			return res, adv, tr, err
 		}
-		want, wantAdv, wantTr, err1 := run(EngineGoroutine, fam.mk)
-		got, gotAdv, gotTr, err2 := run(EngineStep, fam.mk)
+		want, wantAdv, wantTr, err1 := run(EngineGoroutine, fam.mk, proto)
+		got, gotAdv, gotTr, err2 := run(EngineStep, fam.mk, proto)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("%s: errors differ: goroutine=%v step=%v", label, err1, err2)
 		}
@@ -244,12 +328,45 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 			}
 		}
 
+		// Port-vs-map protocol leg: the same protocol written against the
+		// legacy map Exchange (running through the engines' compat wrapper)
+		// must be indistinguishable from the port-native run — identical
+		// Results, traces, and eavesdropper views, on both engines.
+		for _, eng := range []Engine{EngineGoroutine, EngineStep} {
+			pres, padv, ptr, perr := run(eng, fam.mk, mapProto)
+			if perr != nil {
+				t.Fatalf("%s: map-protocol leg failed on %s: %v", label, eng.Name(), perr)
+			}
+			if pres.Stats != want.Stats {
+				t.Fatalf("%s: stats differ port vs map protocol on %s:\n port %+v\n map  %+v",
+					label, eng.Name(), want.Stats, pres.Stats)
+			}
+			pout := fmt.Sprintf("%#v", pres.Outputs)
+			if pout != wout {
+				t.Fatalf("%s: outputs differ port vs map protocol on %s:\n port %s\n map  %s",
+					label, eng.Name(), wout, pout)
+			}
+			ptrb, err := json.Marshal(ptr.Rounds())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(ptrb) != string(wtr) {
+				t.Fatalf("%s: traces differ port vs map protocol on %s", label, eng.Name())
+			}
+			if pe, ok := padv.(*adversary.Eavesdropper); ok {
+				ge := gotAdv.(*adversary.Eavesdropper)
+				if string(pe.ViewBytes()) != string(ge.ViewBytes()) {
+					t.Fatalf("%s: eavesdropper views differ port vs map protocol on %s", label, eng.Name())
+				}
+			}
+		}
+
 		// Slot-vs-map leg: the same trial through the map mirror behind the
 		// compat adapter must be indistinguishable from the slot-native run.
 		if fam.mkMap == nil {
 			continue
 		}
-		mres, madv, mtr, merr := run(EngineStep, fam.mkMap)
+		mres, madv, mtr, merr := run(EngineStep, fam.mkMap, proto)
 		if merr != nil {
 			t.Fatalf("%s: map-adapter leg failed: %v", label, merr)
 		}

@@ -26,20 +26,24 @@ func main() {
 
 // maxFlood floods the maximum 2-byte reading for r rounds, sending only
 // when the local maximum improves — a low-congestion payload, exactly what
-// Theorem 1.3 optimizes for.
+// Theorem 1.3 optimizes for. Written against the port-native runtime: the
+// outbox is the runtime's reusable port buffer and one message is shared
+// across all ports.
 func maxFlood(r int) congest.Protocol {
 	return func(rt congest.Runtime) {
+		pr := congest.Ports(rt)
 		reading := uint16(congest.U64(rt.Input()))
 		best := reading
 		improved := true
 		for i := 0; i < r; i++ {
-			out := make(map[graph.NodeID]congest.Msg)
+			out := pr.OutBuf()
 			if improved {
-				for _, v := range rt.Neighbors() {
-					out[v] = congest.Msg{byte(best >> 8), byte(best)}
+				m := congest.Msg{byte(best >> 8), byte(best)}
+				for p := range out {
+					out[p] = m
 				}
 			}
-			in := rt.Exchange(out)
+			in := pr.ExchangePorts(out)
 			improved = false
 			for _, m := range in {
 				if len(m) == 2 {

@@ -2,6 +2,13 @@
 // compilers are exercised on. Every protocol runs a fixed, globally known
 // number of rounds (exchanging on every edge each round where needed), which
 // is the synchrony discipline the paper's round-by-round simulations assume.
+//
+// All protocols here are port-native: they program against
+// congest.PortRuntime (via congest.Ports), moving each round through the
+// runtime's reusable port buffers instead of allocating outbox/inbox maps.
+// One payload buffer is shared across all ports of a round — delivery is by
+// reference and corruptors clone before mutating, so this is safe and drops
+// the per-neighbour message allocation too.
 package algorithms
 
 import (
@@ -14,15 +21,20 @@ import (
 // payload.
 func FloodMax(rounds int) congest.Protocol {
 	return func(rt congest.Runtime) {
+		pr := congest.Ports(rt)
 		best := uint64(rt.ID())
 		for r := 0; r < rounds; r++ {
-			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
-			for _, v := range rt.Neighbors() {
-				out[v] = congest.U64Msg(best)
+			out := pr.OutBuf()
+			m := congest.U64Msg(best)
+			for p := range out {
+				out[p] = m
 			}
-			in := rt.Exchange(out)
-			for _, m := range in {
-				if v := congest.U64(m); v > best {
+			in := pr.ExchangePorts(out)
+			for _, mm := range in {
+				if mm == nil {
+					continue
+				}
+				if v := congest.U64(mm); v > best {
 					best = v
 				}
 			}
@@ -36,23 +48,27 @@ func FloodMax(rounds int) congest.Protocol {
 // send an explicit zero placeholder so traffic is input-independent in
 // volume; value 0 is reserved as "none". A node hearing several distinct
 // nonzero values in one round (possible only under corruption) adopts the
-// smallest, so the protocol stays deterministic regardless of inbox
-// iteration order.
+// smallest, so the protocol stays deterministic regardless of inbox order.
 func Broadcast(root graph.NodeID, value uint64, rounds int) congest.Protocol {
 	return func(rt congest.Runtime) {
+		pr := congest.Ports(rt)
 		var have uint64
 		if rt.ID() == root {
 			have = value
 		}
 		for r := 0; r < rounds; r++ {
-			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
-			for _, v := range rt.Neighbors() {
-				out[v] = congest.U64Msg(have)
+			out := pr.OutBuf()
+			m := congest.U64Msg(have)
+			for p := range out {
+				out[p] = m
 			}
-			in := rt.Exchange(out)
+			in := pr.ExchangePorts(out)
 			if have == 0 {
-				for _, m := range in {
-					if v := congest.U64(m); v != 0 && (have == 0 || v < have) {
+				for _, mm := range in {
+					if mm == nil {
+						continue
+					}
+					if v := congest.U64(mm); v != 0 && (have == 0 || v < have) {
 						have = v
 					}
 				}
@@ -69,19 +85,24 @@ func Broadcast(root graph.NodeID, value uint64, rounds int) congest.Protocol {
 // deterministic.
 func BroadcastInput(root graph.NodeID, rounds int) congest.Protocol {
 	return func(rt congest.Runtime) {
+		pr := congest.Ports(rt)
 		var have uint64
 		if rt.ID() == root {
 			have = congest.U64(rt.Input())
 		}
 		for r := 0; r < rounds; r++ {
-			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
-			for _, v := range rt.Neighbors() {
-				out[v] = congest.U64Msg(have)
+			out := pr.OutBuf()
+			m := congest.U64Msg(have)
+			for p := range out {
+				out[p] = m
 			}
-			in := rt.Exchange(out)
+			in := pr.ExchangePorts(out)
 			if have == 0 {
-				for _, m := range in {
-					if v := congest.U64(m); v != 0 && (have == 0 || v < have) {
+				for _, mm := range in {
+					if mm == nil {
+						continue
+					}
+					if v := congest.U64(mm); v != 0 && (have == 0 || v < have) {
 						have = v
 					}
 				}
@@ -102,6 +123,7 @@ type BFSResult struct {
 // parent. Wire format: distance+1 (so 0 means "unreached").
 func BFS(root graph.NodeID, rounds int) congest.Protocol {
 	return func(rt congest.Runtime) {
+		pr := congest.Ports(rt)
 		dist := -1
 		parent := graph.NodeID(-1)
 		if rt.ID() == root {
@@ -109,17 +131,18 @@ func BFS(root graph.NodeID, rounds int) congest.Protocol {
 			parent = root
 		}
 		for r := 0; r < rounds; r++ {
-			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
-			for _, v := range rt.Neighbors() {
-				out[v] = congest.U64Msg(uint64(dist + 1))
+			out := pr.OutBuf()
+			m := congest.U64Msg(uint64(dist + 1))
+			for p := range out {
+				out[p] = m
 			}
-			in := rt.Exchange(out)
-			for _, from := range rt.Neighbors() {
-				m, ok := in[from]
-				if !ok {
+			in := pr.ExchangePorts(out)
+			for p, mm := range in {
+				if mm == nil {
 					continue
 				}
-				d := int(congest.U64(m))
+				from := pr.Neighbor(p)
+				d := int(congest.U64(mm))
 				if d > 0 && (dist < 0 || d < dist+1) { // neighbour at distance d-1
 					if dist < 0 || d-1+1 < dist {
 						dist = d
@@ -139,6 +162,7 @@ func BFS(root graph.NodeID, rounds int) congest.Protocol {
 // executed as a single fixed schedule so all nodes stay in lock-step.
 func SumToRoot(root graph.NodeID, radius int) congest.Protocol {
 	return func(rt congest.Runtime) {
+		pr := congest.Ports(rt)
 		myVal := congest.U64(rt.Input())
 		// Phase 1: BFS layers.
 		dist := -1
@@ -148,18 +172,20 @@ func SumToRoot(root graph.NodeID, radius int) congest.Protocol {
 			parent = root
 		}
 		for r := 0; r < radius; r++ {
-			out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
-			for _, v := range rt.Neighbors() {
-				out[v] = congest.U64Msg(uint64(dist + 1))
+			out := pr.OutBuf()
+			m := congest.U64Msg(uint64(dist + 1))
+			for p := range out {
+				out[p] = m
 			}
-			in := rt.Exchange(out)
-			for _, from := range rt.Neighbors() {
-				if m, ok := in[from]; ok {
-					d := int(congest.U64(m))
-					if d > 0 && (dist < 0 || d < dist) {
-						dist = d
-						parent = from
-					}
+			in := pr.ExchangePorts(out)
+			for p, mm := range in {
+				if mm == nil {
+					continue
+				}
+				d := int(congest.U64(mm))
+				if d > 0 && (dist < 0 || d < dist) {
+					dist = d
+					parent = pr.Neighbor(p)
 				}
 			}
 		}
@@ -167,19 +193,22 @@ func SumToRoot(root graph.NodeID, radius int) congest.Protocol {
 		// at round radius-d; it accumulates child contributions first.
 		acc := myVal
 		for r := 0; r < radius; r++ {
-			out := make(map[graph.NodeID]congest.Msg)
+			out := pr.OutBuf()
 			if dist > 0 && r == radius-dist {
-				out[parent] = congest.U64Msg(acc)
-			}
-			in := rt.Exchange(out)
-			for from, m := range in {
-				if from != parent || rt.ID() == root {
-					acc += congest.U64(m)
-				} else if from == parent {
-					// Late BFS ties can make two nodes claim each other;
-					// parent messages are ignored in convergecast.
-					_ = m
+				if p := pr.Port(parent); p >= 0 {
+					out[p] = congest.U64Msg(acc)
 				}
+			}
+			in := pr.ExchangePorts(out)
+			for p, mm := range in {
+				if mm == nil {
+					continue
+				}
+				if from := pr.Neighbor(p); from != parent || rt.ID() == root {
+					acc += congest.U64(mm)
+				}
+				// Late BFS ties can make two nodes claim each other; parent
+				// messages are ignored in convergecast.
 			}
 		}
 		// Phase 3: downcast the total.
@@ -188,14 +217,15 @@ func SumToRoot(root graph.NodeID, radius int) congest.Protocol {
 			total = acc
 		}
 		for r := 0; r < radius; r++ {
-			out := make(map[graph.NodeID]congest.Msg)
-			for _, v := range rt.Neighbors() {
-				out[v] = congest.U64Msg(total)
+			out := pr.OutBuf()
+			m := congest.U64Msg(total)
+			for p := range out {
+				out[p] = m
 			}
-			in := rt.Exchange(out)
-			if total == 0 {
-				if m, ok := in[parent]; ok {
-					total = congest.U64(m)
+			in := pr.ExchangePorts(out)
+			if total == 0 && parent >= 0 {
+				if p := pr.Port(parent); p >= 0 && in[p] != nil {
+					total = congest.U64(in[p])
 				}
 			}
 		}
@@ -210,14 +240,19 @@ func SumToRoot(root graph.NodeID, radius int) congest.Protocol {
 // value, making it a sharp correctness probe for the byzantine compilers.
 func TokenRing(rounds int) congest.Protocol {
 	return func(rt congest.Runtime) {
-		succ := successor(rt)
+		pr := congest.Ports(rt)
+		succPort := pr.Port(successor(rt))
 		token := uint64(rt.ID()) + 1
 		var trace uint64
 		for r := 0; r < rounds; r++ {
-			out := map[graph.NodeID]congest.Msg{succ: congest.U64Msg(token)}
-			in := rt.Exchange(out)
-			for _, m := range in {
-				token = congest.U64(m) ^ (uint64(rt.ID()) + 1)
+			out := pr.OutBuf()
+			out[succPort] = congest.U64Msg(token)
+			in := pr.ExchangePorts(out)
+			for _, mm := range in {
+				if mm == nil {
+					continue
+				}
+				token = congest.U64(mm) ^ (uint64(rt.ID()) + 1)
 			}
 			trace = trace*31 + token
 		}

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"mobilecongest/internal/congest"
@@ -160,5 +161,18 @@ func TestPayloadsUnderRandomSeeds(t *testing.T) {
 				t.Fatalf("flood max failed on circulant n=%d", n)
 			}
 		}
+	}
+}
+
+// TestMSTCliqueNonCliqueAborts pins the failure mode of running the
+// congested-clique MST on a topology where a component leader is not
+// adjacent: the run must abort with the canonical non-neighbor error (as
+// the legacy map outbox did), never panic on a -1 port.
+func TestMSTCliqueNonCliqueAborts(t *testing.T) {
+	g := graph.Cycle(8)
+	inputs := CliqueWeights(8, 3)
+	_, err := congest.Run(congest.Config{Graph: g, Seed: 1, Inputs: inputs}, MSTClique())
+	if err == nil || !strings.Contains(err.Error(), "non-neighbor") {
+		t.Fatalf("err = %v, want the canonical non-neighbor abort", err)
 	}
 }

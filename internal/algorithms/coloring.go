@@ -24,14 +24,18 @@ type ColorRingResult struct {
 // the same fixed schedule.
 func ColorRing(iterations int) congest.Protocol {
 	return func(rt congest.Runtime) {
+		pr := congest.Ports(rt)
 		pred, succ := ringNeighbors(rt)
+		predPort, succPort := pr.Port(pred), pr.Port(succ)
 		color := uint64(rt.ID())
 		// Phase 1: Cole-Vishkin iterations. Each round: send my colour to
 		// my successor; combine with predecessor's.
 		for it := 0; it < iterations; it++ {
-			in := rt.Exchange(map[graph.NodeID]congest.Msg{succ: congest.U64Msg(color)})
+			out := pr.OutBuf()
+			out[succPort] = congest.U64Msg(color)
+			in := pr.ExchangePorts(out)
 			pc := color // self-fallback keeps the protocol total under corruption
-			if m, ok := in[pred]; ok {
+			if m := in[predPort]; m != nil {
 				pc = congest.U64(m)
 			}
 			color = coleVishkinStep(pc, color)
@@ -40,16 +44,16 @@ func ColorRing(iterations int) congest.Protocol {
 		// with that colour re-colour to the smallest colour unused by both
 		// ring neighbours. Each step needs both neighbours' colours.
 		for c := uint64(5); c >= 3; c-- {
-			out := map[graph.NodeID]congest.Msg{
-				succ: congest.U64Msg(color),
-				pred: congest.U64Msg(color),
-			}
-			in := rt.Exchange(out)
+			out := pr.OutBuf()
+			m := congest.U64Msg(color)
+			out[succPort] = m
+			out[predPort] = m
+			in := pr.ExchangePorts(out)
 			var nb []uint64
-			if m, ok := in[pred]; ok {
+			if m := in[predPort]; m != nil {
 				nb = append(nb, congest.U64(m))
 			}
-			if m, ok := in[succ]; ok {
+			if m := in[succPort]; m != nil && succPort != predPort {
 				nb = append(nb, congest.U64(m))
 			}
 			if color == c {

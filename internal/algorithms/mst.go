@@ -69,6 +69,7 @@ func decodeWeights(input []byte, n int) []uint64 {
 // weight at every node.
 func MSTClique() congest.Protocol {
 	return func(rt congest.Runtime) {
+		pr := congest.Ports(rt)
 		n := rt.N()
 		weights := decodeWeights(rt.Input(), n)
 		comp := make([]graph.NodeID, n)
@@ -82,14 +83,18 @@ func MSTClique() congest.Protocol {
 		chosen := make(map[graph.Edge]uint64)
 		for p := 0; p < phases; p++ {
 			// Round 1: announce component IDs.
-			out := make(map[graph.NodeID]congest.Msg, n-1)
-			for _, v := range rt.Neighbors() {
-				out[v] = congest.U64Msg(uint64(comp[rt.ID()]))
+			out := pr.OutBuf()
+			announce := congest.U64Msg(uint64(comp[rt.ID()]))
+			for i := range out {
+				out[i] = announce
 			}
-			in := rt.Exchange(out)
-			for from, m := range in {
+			in := pr.ExchangePorts(out)
+			for i, m := range in {
+				if m == nil {
+					continue
+				}
 				if c := congest.U64(m); c < uint64(n) {
-					comp[from] = graph.NodeID(c)
+					comp[pr.Neighbor(i)] = graph.NodeID(c)
 				}
 			}
 			// Local: lightest incident edge leaving my component.
@@ -108,11 +113,19 @@ func MSTClique() congest.Protocol {
 			// leader. Leaders collect; everyone else sends an empty slot to
 			// nobody (silent).
 			leader := comp[rt.ID()]
-			out = make(map[graph.NodeID]congest.Msg)
+			out = pr.OutBuf()
 			if bestV >= 0 && leader != rt.ID() {
-				out[leader] = packCandidate(bestW, rt.ID(), bestV)
+				if lp := pr.Port(leader); lp >= 0 {
+					out[lp] = packCandidate(bestW, rt.ID(), bestV)
+				} else {
+					// Non-clique topology: abort the run with the canonical
+					// non-neighbor error, like the map outbox used to (and
+					// never fall through desynced if a wrapper tolerates it).
+					rt.Exchange(map[graph.NodeID]congest.Msg{leader: packCandidate(bestW, rt.ID(), bestV)})
+					panic("algorithms: MSTClique component leader is not adjacent")
+				}
 			}
-			in = rt.Exchange(out)
+			in = pr.ExchangePorts(out)
 			// Leader picks the component minimum (including its own
 			// candidate).
 			type cand struct {
@@ -124,8 +137,8 @@ func MSTClique() congest.Protocol {
 				best = &cand{w: bestW, u: rt.ID(), v: bestV}
 			}
 			if leader == rt.ID() {
-				for from, m := range in {
-					if comp[from] != leader || len(m) < 8 {
+				for i, m := range in {
+					if m == nil || comp[pr.Neighbor(i)] != leader || len(m) < 8 {
 						continue
 					}
 					w, u, v := unpackCandidate(m)
@@ -136,14 +149,14 @@ func MSTClique() congest.Protocol {
 				}
 			}
 			// Round 3: leaders announce merge edges to everyone.
-			out = make(map[graph.NodeID]congest.Msg)
+			out = pr.OutBuf()
 			if leader == rt.ID() && best != nil {
 				msg := packCandidate(best.w, best.u, best.v)
-				for _, v := range rt.Neighbors() {
-					out[v] = msg
+				for i := range out {
+					out[i] = msg
 				}
 			}
-			in = rt.Exchange(out)
+			in = pr.ExchangePorts(out)
 			// Everyone (including leaders) collects all announced merge
 			// edges and merges components identically.
 			type merge struct {
@@ -155,7 +168,7 @@ func MSTClique() congest.Protocol {
 				merges = append(merges, merge{w: best.w, u: best.u, v: best.v})
 			}
 			for _, m := range in {
-				if len(m) < 8 {
+				if m == nil || len(m) < 8 {
 					continue
 				}
 				w, u, v := unpackCandidate(m)

@@ -101,7 +101,7 @@ func Compile(payload congest.Protocol, f int) congest.Protocol {
 		if 2*f+1 > sh.Cover.K {
 			panic(fmt.Sprintf("ccpath: cover has K=%d paths, cannot defend f=%d", sh.Cover.K, f))
 		}
-		sim := &simulator{rt: rt, sh: sh, f: f}
+		sim := &simulator{rt: rt, pr: congest.Ports(rt), sh: sh, f: f}
 		w := &congest.WrappedRuntime{Base: rt, ExchangeFn: sim.exchange, ShadowShared: sh.Payload}
 		payload(w)
 	}
@@ -109,12 +109,15 @@ func Compile(payload congest.Protocol, f int) congest.Protocol {
 
 type simulator struct {
 	rt congest.Runtime
+	pr congest.PortRuntime
 	sh *Shared
 	f  int
 }
 
 // exchange simulates one payload round (Theorem 5.5's per-round protocol).
+// The pipelined window rounds run on the port boundary.
 func (s *simulator) exchange(out map[graph.NodeID]congest.Msg) map[graph.NodeID]congest.Msg {
+	pr := s.pr
 	me := s.rt.ID()
 	g := s.sh.G
 	window := s.sh.WindowRounds(s.f)
@@ -129,7 +132,7 @@ func (s *simulator) exchange(out map[graph.NodeID]congest.Msg) map[graph.NodeID]
 		// votes[flowID-of-incoming-edge][value] accumulates sink copies.
 		votes := make(map[int]map[string]int)
 		for t := 0; t < window; t++ {
-			outMsg := make(map[graph.NodeID]congest.Msg)
+			pout := pr.OutBuf()
 			for _, h := range myHops {
 				if h.next < 0 {
 					continue
@@ -150,18 +153,19 @@ func (s *simulator) exchange(out map[graph.NodeID]congest.Msg) map[graph.NodeID]
 				// One flow per directed edge within a class, so plain
 				// concatenation order is stable: tag with flowID byte for
 				// robustness against classes touching a node twice.
-				outMsg[h.next] = appendFlowMsg(outMsg[h.next], h.flowID, m)
+				p := pr.Port(h.next)
+				pout[p] = appendFlowMsg(pout[p], h.flowID, m)
 			}
-			in := s.rt.Exchange(outMsg)
+			in := pr.ExchangePorts(pout)
 			for _, h := range myHops {
 				if h.prev < 0 {
 					continue
 				}
-				m, okIn := in[h.prev]
-				if !okIn {
+				p := pr.Port(h.prev)
+				if p < 0 || in[p] == nil {
 					continue
 				}
-				fm := extractFlowMsg(m, h.flowID)
+				fm := extractFlowMsg(in[p], h.flowID)
 				if fm == nil {
 					continue
 				}

@@ -11,15 +11,22 @@
 // deterministic given Config.Seed and produce identical Results.
 //
 // Internally a run moves traffic through a flat, edge-indexed round buffer
-// (see edgeLayout). The adversary boundary is slot-native: adversaries read
-// and mutate the round through a RoundTraffic view indexed by edge slot, and
-// the map form of a round's traffic survives only as a legacy view,
-// materialized lazily when a map-based TrafficAdversary (via AdaptTraffic)
-// or an observer asks for it. Run-level measurement is pluggable via the
-// Observer pipeline (Config.Observers); the engine's own statistics are a
-// StatsObserver it installs itself. Repeated runs over the same graph can
-// reuse a RunContext (see ContextRunner), amortizing the layout, round
-// buffers, node cores, and RNG state across runs.
+// (see edgeLayout), and the pipeline is slot-native end to end. On the node
+// side, protocols program against PortRuntime: a node's ports are its
+// neighbours in ascending order, and ExchangePorts moves the round through
+// reusable per-node []Msg slices that alias the run's round buffers — the
+// fault-free hot path allocates no per-round maps or slices at all. The map
+// Exchange survives as a compat wrapper over ports (outbox folded up front,
+// inbox map materialized lazily per call). On the adversary side the
+// boundary is likewise slot-native: adversaries read and mutate the round
+// through a RoundTraffic view indexed by edge slot, and the map form of a
+// round's traffic survives only as a legacy view, materialized lazily when
+// a map-based TrafficAdversary (via AdaptTraffic) or an observer asks for
+// it. Run-level measurement is pluggable via the Observer pipeline
+// (Config.Observers); the engine's own statistics are a StatsObserver it
+// installs itself. Repeated runs over the same graph can reuse a RunContext
+// (see ContextRunner), amortizing the layout, round buffers, port slabs,
+// node cores, and RNG state across runs.
 //
 // The model is KT1: every node knows n, its own ID, and the IDs of its
 // neighbours. Nodes hold private randomness the adversary cannot see.
@@ -137,9 +144,11 @@ type TotalBudget interface {
 // communicates only through rt.Exchange.
 type Protocol func(rt Runtime)
 
-// Runtime is the interface protocol code programs against. Compilers wrap a
-// Runtime to interpose their simulation machinery between the payload
-// protocol and the physical network.
+// Runtime is the map-level interface protocol code programs against.
+// Compilers wrap a Runtime to interpose their simulation machinery between
+// the payload protocol and the physical network. Hot protocols should
+// program against PortRuntime (via Ports), whose slot-native ExchangePorts
+// avoids the per-round map allocations of Exchange.
 type Runtime interface {
 	// ID returns this node's identifier.
 	ID() graph.NodeID
@@ -149,7 +158,10 @@ type Runtime interface {
 	Neighbors() []graph.NodeID
 	// Exchange sends out[v] to each neighbour v (missing keys send nothing)
 	// and returns the messages received this round keyed by sender. It is
-	// the synchronous round barrier.
+	// the synchronous round barrier. On the engines' runtimes it is a compat
+	// wrapper over ExchangePorts: the inbox map is materialized per call
+	// (read-only; silent rounds share one canonical empty map), so code on
+	// the hot path should use the port form instead.
 	Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg
 	// Round returns the number of completed Exchange calls.
 	Round() int

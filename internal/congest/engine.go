@@ -76,8 +76,9 @@ func EngineNames() []string {
 	return names
 }
 
-// nodeCore is the engine-independent per-node state backing Runtime. Engines
-// embed it and supply only Exchange.
+// nodeCore is the engine-independent per-node state backing PortRuntime.
+// Engines embed it and supply only the barrier (ExchangePorts and the map
+// compat Exchange over it).
 type nodeCore struct {
 	id        graph.NodeID
 	neighbors []graph.NodeID
@@ -87,6 +88,12 @@ type nodeCore struct {
 	round     int
 	n         int
 	shared    any
+
+	outBuf     []Msg // reusable port-indexed outbox (CSR sub-slice of the run's out slab)
+	inBuf      []Msg // port-indexed inbox (CSR sub-slice of the run's in slab)
+	outPending []Msg // slice handed to ExchangePorts, consumed at collection
+	badTo      graph.NodeID
+	badSend    bool // map compat Exchange addressed a non-neighbor; abort at collection
 }
 
 func (s *nodeCore) ID() graph.NodeID          { return s.id }
@@ -97,6 +104,69 @@ func (s *nodeCore) Rand() *rand.Rand          { return s.rng }
 func (s *nodeCore) Input() []byte             { return s.input }
 func (s *nodeCore) SetOutput(v any)           { s.output = v }
 func (s *nodeCore) Shared() any               { return s.shared }
+
+func (s *nodeCore) Degree() int                 { return len(s.neighbors) }
+func (s *nodeCore) Neighbor(p int) graph.NodeID { return s.neighbors[p] }
+func (s *nodeCore) Port(v graph.NodeID) int     { return portIndex(s.neighbors, v) }
+func (s *nodeCore) OutBuf() []Msg               { return s.outBuf }
+
+// mapOutToPorts folds a legacy map outbox into the port outbox. A send to a
+// non-neighbor is recorded (smallest offender, for a deterministic error)
+// and aborts the run at collection, exactly like the legacy map path. The
+// buffer is cleared first: a map Exchange sends exactly the map's entries,
+// never entries a protocol abandoned in OutBuf before switching forms.
+func (s *nodeCore) mapOutToPorts(out map[graph.NodeID]Msg) []Msg {
+	buf := s.outBuf
+	clear(buf)
+	for to, m := range out {
+		if m == nil {
+			continue
+		}
+		p := portIndex(s.neighbors, to)
+		if p < 0 {
+			if !s.badSend || to < s.badTo {
+				s.badSend, s.badTo = true, to
+			}
+			continue
+		}
+		buf[p] = m
+	}
+	return buf
+}
+
+// emptyInbox is the canonical inbox of a silent round on the map compat
+// path. It is shared by every node of every run — inbox maps are read-only
+// (their payloads already alias the engine's round buffer), so handing out
+// one immutable empty map instead of allocating a fresh one per silent node
+// per round is safe.
+var emptyInbox = map[graph.NodeID]Msg{}
+
+// portsToMap materializes the map view of a port inbox — the lazy half of
+// every compat Exchange (engine runtimes and WrappedRuntime alike): the map
+// exists only for the nodes and rounds that ask for it. The map is
+// read-only; silent rounds share emptyInbox.
+func portsToMap(neighbors []graph.NodeID, in []Msg) map[graph.NodeID]Msg {
+	cnt := 0
+	for _, m := range in {
+		if m != nil {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return emptyInbox
+	}
+	mm := make(map[graph.NodeID]Msg, cnt)
+	for p, m := range in {
+		if m != nil {
+			mm[neighbors[p]] = m
+		}
+	}
+	return mm
+}
+
+func (s *nodeCore) portsToMapIn(in []Msg) map[graph.NodeID]Msg {
+	return portsToMap(s.neighbors, in)
+}
 
 // runCore holds the engine-independent run state: validated config, the
 // context carrying the flat edge layout with its reusable round buffer and
@@ -117,6 +187,7 @@ type runCore struct {
 	total     TotalBudget    // non-nil when the adversary declares one
 	round     int            // completed-round counter (the engine's round clock)
 	corrupted int            // total corrupted edge-rounds, for TotalBudget enforcement
+	view      RoundView      // reusable observer view (valid only during RoundDelivered)
 }
 
 func newRunCore(rc *RunContext, cfg Config) (*runCore, error) {
@@ -137,6 +208,7 @@ func newRunCore(rc *RunContext, cfg Config) (*runCore, error) {
 	rc.bind(g)
 	rc.stats.Reset()
 	rc.cur.reset()
+	rc.resetSlabs()
 	c := &runCore{
 		cfg:       cfg,
 		rc:        rc,
@@ -180,29 +252,29 @@ func (c *runCore) beginRound() error {
 	return nil
 }
 
-// collectOutbox validates one node's round outbox and folds it into the
-// round's collection buffer (nil messages send nothing).
-func (c *runCore) collectOutbox(from graph.NodeID, out map[graph.NodeID]Msg) error {
-	for to, m := range out {
+// collectOutbox folds one parked node's pending port outbox into the round's
+// collection buffer, consuming (clearing) it so the node's reusable OutBuf
+// comes back empty. Port p of node u is slot rowStart[u]+p by construction.
+// It also surfaces the two per-node validation errors: a map compat Exchange
+// that addressed a non-neighbor, and a port outbox longer than the degree.
+func (c *runCore) collectOutbox(nc *nodeCore) error {
+	out := nc.outPending
+	nc.outPending = nil
+	if nc.badSend {
+		return fmt.Errorf("congest: node %d sent to non-neighbor %d", nc.id, nc.badTo)
+	}
+	base := c.layout.rowStart[nc.id]
+	if len(out) > int(c.layout.degree(nc.id)) {
+		return fmt.Errorf("congest: node %d sent on %d ports, degree %d", nc.id, len(out), c.layout.degree(nc.id))
+	}
+	for p, m := range out {
 		if m == nil {
 			continue
 		}
-		s := c.layout.slot(from, to)
-		if s < 0 {
-			return fmt.Errorf("congest: node %d sent to non-neighbor %d", from, to)
-		}
-		c.cur.put(s, m)
+		c.cur.put(base+int32(p), m)
+		out[p] = nil
 	}
 	return nil
-}
-
-// inboxOrEmpty substitutes a fresh empty map for a round with no incoming
-// messages, so protocols never see a nil inbox.
-func inboxOrEmpty(in map[graph.NodeID]Msg) map[graph.NodeID]Msg {
-	if in == nil {
-		return map[graph.NodeID]Msg{}
-	}
-	return in
 }
 
 // outputs gathers the per-node protocol outputs in node order.
@@ -254,25 +326,30 @@ func (c *runCore) intercept() (*roundBuffer, []graph.Edge, error) {
 }
 
 // endRound runs the round's adversary boundary and delivery: intercept with
-// budget enforcement, inbox fan-out (allocated lazily into the caller's
-// slice, which must arrive nil-filled), observer notification, and the round
-// clock tick.
-func (c *runCore) endRound(inboxes []map[graph.NodeID]Msg) error {
+// budget enforcement, port fan-in (the delivered message on slot (u,v) lands
+// in v's port inbox, which is the reverse slot of the in slab — no maps, no
+// allocation), observer notification, and the round clock tick.
+func (c *runCore) endRound() error {
 	buf, corrupted, err := c.intercept()
 	if err != nil {
 		return err
 	}
 	buf.sortTouched()
-	for _, s := range buf.touched {
-		de := buf.layout.dirEdges[s]
-		if inboxes[de.To] == nil {
-			inboxes[de.To] = make(map[graph.NodeID]Msg)
-		}
-		inboxes[de.To][de.From] = buf.msgs[s]
+	rc := c.rc
+	for _, s := range rc.inClear {
+		rc.inSlab[s] = nil
 	}
-	view := &RoundView{buf: buf, corrupted: corrupted}
+	rc.inClear = rc.inClear[:0]
+	for _, s := range buf.touched {
+		rs := c.layout.revSlot[s]
+		rc.inSlab[rs] = buf.msgs[s]
+		rc.inClear = append(rc.inClear, rs)
+	}
+	// The view is reused across rounds — observers may not retain it (see
+	// Observer.RoundDelivered), so one per run suffices.
+	c.view = RoundView{buf: buf, corrupted: corrupted}
 	for _, o := range c.observers {
-		o.RoundDelivered(c.round, view)
+		o.RoundDelivered(c.round, &c.view)
 	}
 	c.round++
 	return nil

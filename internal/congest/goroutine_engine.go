@@ -9,10 +9,15 @@ import (
 type abortSignal struct{}
 
 // GoroutineEngine runs each node's protocol as straight-line Go code in its
-// own goroutine; Exchange blocks on channels and acts as the end-of-round
-// barrier. This is the original engine: maximally faithful to the "each node
-// is an independent processor" reading of the model, at the price of two
-// channel handoffs plus scheduler wakeups per node per round.
+// own goroutine; ExchangePorts blocks on channels and acts as the
+// end-of-round barrier. This is the original engine: maximally faithful to
+// the "each node is an independent processor" reading of the model, at the
+// price of two channel handoffs plus scheduler wakeups per node per round.
+//
+// Port I/O stays race-free without copying because the slabs partition by
+// node: a node only ever writes its own CSR range of the out slab and only
+// reads its own range of the in slab, and the channel barrier orders those
+// accesses against the coordinator's collection and delivery.
 type GoroutineEngine struct{}
 
 // Name implements Engine.
@@ -23,27 +28,34 @@ func (GoroutineEngine) Name() string { return "goroutine" }
 type goroutineNode struct {
 	*nodeCore
 
-	outCh  chan map[graph.NodeID]Msg
-	inCh   chan map[graph.NodeID]Msg
+	parkCh chan struct{} // node -> coordinator: outbox pending
+	inCh   chan struct{} // coordinator -> node: inbox delivered
 	doneCh chan struct{}
 	abort  chan struct{}
 }
 
-var _ Runtime = (*goroutineNode)(nil)
+var _ PortRuntime = (*goroutineNode)(nil)
 
-func (s *goroutineNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+func (s *goroutineNode) ExchangePorts(out []Msg) []Msg {
+	s.outPending = out
 	select {
-	case s.outCh <- out:
+	case s.parkCh <- struct{}{}:
 	case <-s.abort:
 		panic(abortSignal{})
 	}
 	select {
-	case in := <-s.inCh:
+	case <-s.inCh:
 		s.round++
-		return in
+		return s.inBuf
 	case <-s.abort:
 		panic(abortSignal{})
 	}
+}
+
+// Exchange is the legacy map barrier, a compat wrapper over the port path
+// (see stepNode.Exchange).
+func (s *goroutineNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+	return s.portsToMapIn(s.ExchangePorts(s.mapOutToPorts(out)))
 }
 
 // Run implements Engine.
@@ -68,8 +80,8 @@ func (GoroutineEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *R
 	for i := range nodes {
 		nodes[i] = &goroutineNode{
 			nodeCore: &cores[i],
-			outCh:    make(chan map[graph.NodeID]Msg),
-			inCh:     make(chan map[graph.NodeID]Msg),
+			parkCh:   make(chan struct{}),
+			inCh:     make(chan struct{}),
 			doneCh:   make(chan struct{}),
 			abort:    abort,
 		}
@@ -101,7 +113,6 @@ func (GoroutineEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *R
 		}
 	}
 
-	inboxes := core.rc.inboxes
 	for nActive > 0 {
 		if err := core.beginRound(); err != nil {
 			abortAll()
@@ -114,8 +125,8 @@ func (GoroutineEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *R
 				continue
 			}
 			select {
-			case out := <-s.outCh:
-				if err := core.collectOutbox(s.id, out); err != nil {
+			case <-s.parkCh:
+				if err := core.collectOutbox(s.nodeCore); err != nil {
 					abortAll()
 					return nil, err
 				}
@@ -127,11 +138,7 @@ func (GoroutineEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *R
 		if nActive == 0 {
 			break
 		}
-
-		for i := range inboxes {
-			inboxes[i] = nil
-		}
-		if err := core.endRound(inboxes); err != nil {
+		if err := core.endRound(); err != nil {
 			abortAll()
 			return nil, err
 		}
@@ -139,7 +146,7 @@ func (GoroutineEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *R
 			if !active[i] {
 				continue
 			}
-			s.inCh <- inboxOrEmpty(inboxes[i])
+			s.inCh <- struct{}{}
 		}
 	}
 

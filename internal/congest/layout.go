@@ -25,6 +25,7 @@ type edgeLayout struct {
 	rowStart []int32         // len n+1; CSR offsets into the slot space
 	dirEdges []graph.DirEdge // slot -> directed edge
 	undir    []int32         // slot -> index of the undirected edge in g.Edges()
+	revSlot  []int32         // slot of (u,v) -> slot of (v,u); delivery fan-in
 }
 
 func newEdgeLayout(g *graph.Graph) *edgeLayout {
@@ -36,6 +37,7 @@ func newEdgeLayout(g *graph.Graph) *edgeLayout {
 	slots := int(l.rowStart[n])
 	l.dirEdges = make([]graph.DirEdge, slots)
 	l.undir = make([]int32, slots)
+	l.revSlot = make([]int32, slots)
 	for u := 0; u < n; u++ {
 		from := graph.NodeID(u)
 		base := l.rowStart[u]
@@ -45,7 +47,15 @@ func newEdgeLayout(g *graph.Graph) *edgeLayout {
 			l.undir[s] = int32(g.EdgeIndex(from, to))
 		}
 	}
+	for s, de := range l.dirEdges {
+		l.revSlot[s] = l.slot(de.To, de.From)
+	}
 	return l
+}
+
+// degree returns the out-degree (== in-degree) of u in slots.
+func (l *edgeLayout) degree(u graph.NodeID) int32 {
+	return l.rowStart[u+1] - l.rowStart[u]
 }
 
 // slots returns the number of directed-edge slots (2M).

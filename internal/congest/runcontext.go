@@ -23,15 +23,22 @@ import (
 // is a data race. Concurrent callers use one context each (Sweep gives every
 // worker its own).
 type RunContext struct {
-	g       *graph.Graph
-	layout  *edgeLayout
-	cur     *roundBuffer
-	rt      *RoundTraffic
-	cores   []nodeCore
-	inboxes []map[graph.NodeID]Msg
-	stats   *StatsObserver
-	seeder  *rand.Rand
-	rngs    []*rand.Rand
+	g      *graph.Graph
+	layout *edgeLayout
+	cur    *roundBuffer
+	rt     *RoundTraffic
+	cores  []nodeCore
+	stats  *StatsObserver
+	seeder *rand.Rand
+	rngs   []*rand.Rand
+
+	// Port slabs: every node's reusable outbox and inbox are CSR sub-slices
+	// of these slot-indexed slabs (node u owns rowStart[u]:rowStart[u+1] of
+	// each), so per-round node I/O allocates nothing. inClear lists the
+	// in-slab slots the previous delivery occupied, for O(delivered) reuse.
+	outSlab []Msg
+	inSlab  []Msg
+	inClear []int32
 }
 
 // NewRunContext returns an empty context; it binds to a graph on first use.
@@ -57,10 +64,20 @@ func (rc *RunContext) bind(g *graph.Graph) {
 	rc.cur = newRoundBuffer(rc.layout)
 	rc.rt = newRoundTraffic(rc.layout)
 	rc.cores = make([]nodeCore, g.N())
-	rc.inboxes = make([]map[graph.NodeID]Msg, g.N())
+	rc.outSlab = make([]Msg, rc.layout.slots())
+	rc.inSlab = make([]Msg, rc.layout.slots())
+	rc.inClear = rc.inClear[:0]
 	rc.stats = NewStatsObserver()
 	// rc.rngs is deliberately kept: per-node RNGs are graph-independent and
 	// re-seeded per run, so they survive rebinding.
+}
+
+// resetSlabs releases any payload references a previous (possibly aborted)
+// run left in the port slabs, so reused contexts leak nothing between runs.
+func (rc *RunContext) resetSlabs() {
+	clear(rc.outSlab)
+	clear(rc.inSlab)
+	rc.inClear = rc.inClear[:0]
 }
 
 // nodeCores (re)derives the per-node state for a run. Node randomness is
@@ -89,6 +106,7 @@ func (rc *RunContext) nodeCores(cfg Config) []nodeCore {
 		} else {
 			rc.rngs[i].Seed(s)
 		}
+		base, end := rc.layout.rowStart[i], rc.layout.rowStart[i+1]
 		rc.cores[i] = nodeCore{
 			id:        graph.NodeID(i),
 			neighbors: rc.g.Neighbors(graph.NodeID(i)),
@@ -96,6 +114,8 @@ func (rc *RunContext) nodeCores(cfg Config) []nodeCore {
 			input:     input,
 			n:         rc.g.N(),
 			shared:    cfg.Shared,
+			outBuf:    rc.outSlab[base:end:end],
+			inBuf:     rc.inSlab[base:end:end],
 		}
 	}
 	return rc.cores

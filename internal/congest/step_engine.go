@@ -8,11 +8,11 @@ import (
 
 // StepEngine runs every node as a resumable step function driven by a single
 // scheduler goroutine. Each protocol is wrapped in a coroutine (iter.Pull):
-// Exchange parks the node by yielding its outbox slot and resumes with the
-// inbox slot filled in. Compared to GoroutineEngine this removes the two
-// channel handoffs and the scheduler wakeup per node per round — the
-// coroutine switch is a direct handoff. Semantics are identical: nodes still
-// interact only at the Exchange barrier, so any protocol that is
+// ExchangePorts parks the node by yielding its pending outbox and resumes
+// with the node's port inbox filled in. Compared to GoroutineEngine this
+// removes the two channel handoffs and the scheduler wakeup per node per
+// round — the coroutine switch is a direct handoff. Semantics are identical:
+// nodes still interact only at the exchange barrier, so any protocol that is
 // deterministic under GoroutineEngine produces a byte-identical Result here.
 type StepEngine struct{}
 
@@ -20,8 +20,8 @@ type StepEngine struct{}
 func (StepEngine) Name() string { return "step" }
 
 // stepNode is the per-node runtime of the step engine. It points into the
-// run's shared nodeCore slice; out and in are the handoff slots the
-// scheduler reads and writes between resumptions.
+// run's shared nodeCore slice; the pending outbox and the port inbox live on
+// the core, so the scheduler reads and writes them between resumptions.
 type stepNode struct {
 	*nodeCore
 
@@ -29,15 +29,12 @@ type stepNode struct {
 	next  func() (struct{}, bool)
 	stop  func()
 	done  bool
-
-	out map[graph.NodeID]Msg
-	in  map[graph.NodeID]Msg
 }
 
-var _ Runtime = (*stepNode)(nil)
+var _ PortRuntime = (*stepNode)(nil)
 
-func (s *stepNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
-	s.out = out
+func (s *stepNode) ExchangePorts(out []Msg) []Msg {
+	s.outPending = out
 	// yield returns false when the scheduler stopped the coroutine (abort or
 	// early engine exit): unwind the protocol exactly like the goroutine
 	// engine does.
@@ -45,9 +42,14 @@ func (s *stepNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
 		panic(abortSignal{})
 	}
 	s.round++
-	in := s.in
-	s.in = nil
-	return in
+	return s.inBuf
+}
+
+// Exchange is the legacy map barrier, a compat wrapper over the port path:
+// the outbox folds into the port outbox up front and the inbox map is
+// materialized lazily, only for the nodes and rounds that use this form.
+func (s *stepNode) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
+	return s.portsToMapIn(s.ExchangePorts(s.mapOutToPorts(out)))
 }
 
 // Run implements Engine.
@@ -91,44 +93,32 @@ func (StepEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Result
 	}()
 
 	nActive := g.N()
-	inboxes := core.rc.inboxes
 
 	for nActive > 0 {
 		if err := core.beginRound(); err != nil {
 			return nil, err
 		}
-		// Step each node to its next Exchange (collecting its outbox) or to
+		// Step each node to its next exchange (parking its outbox) or to
 		// termination — same node order as the goroutine engine's collection
-		// loop.
+		// loop, so the collection buffer fills in ascending slot order.
 		for _, s := range nodes {
 			if s.done {
 				continue
 			}
-			s.out = nil
 			if _, alive := s.next(); !alive {
 				s.done = true
 				nActive--
 				continue
 			}
-			if err := core.collectOutbox(s.id, s.out); err != nil {
+			if err := core.collectOutbox(s.nodeCore); err != nil {
 				return nil, err
 			}
 		}
 		if nActive == 0 {
 			break
 		}
-
-		for i := range inboxes {
-			inboxes[i] = nil
-		}
-		if err := core.endRound(inboxes); err != nil {
+		if err := core.endRound(); err != nil {
 			return nil, err
-		}
-		for i, s := range nodes {
-			if s.done {
-				continue
-			}
-			s.in = inboxOrEmpty(inboxes[i])
 		}
 	}
 

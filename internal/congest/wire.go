@@ -2,6 +2,7 @@ package congest
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 
 	"mobilecongest/internal/graph"
@@ -60,20 +61,32 @@ func Words64(m Msg) []uint64 {
 }
 
 // WrappedRuntime lets a compiler present a virtual network to a payload
-// protocol: every Runtime method is forwarded to Base except Exchange, which
-// calls ExchangeFn. Compilers implement ExchangeFn as a multi-round
-// subprotocol over Base.
+// protocol: every Runtime method is forwarded to Base except the exchange
+// barrier, which runs the compiler's simulation of one payload round.
+// Compilers implement the simulation as a multi-round subprotocol over Base,
+// in whichever form fits: ExchangeFn (the legacy map boundary) or
+// ExchangePortsFn (the port-native boundary). Only one needs to be set —
+// WrappedRuntime implements both Exchange and ExchangePorts and adapts each
+// onto whichever function the compiler provided, so map payloads run over
+// port compilers and vice versa.
 type WrappedRuntime struct {
 	Base       Runtime
 	ExchangeFn func(out map[graph.NodeID]Msg) map[graph.NodeID]Msg
+	// ExchangePortsFn simulates one payload round on the port boundary:
+	// out[p] is the payload's message for port p (the p-th neighbour in
+	// ascending order), and the returned slice is the payload's port inbox.
+	// Implementations own the returned slice and may reuse it per round.
+	ExchangePortsFn func(out []Msg) []Msg
 	// ShadowShared, when non-nil, is what the wrapped protocol sees from
 	// Shared() — compilers use it to pass the payload's own preprocessing
 	// artifact through while keeping their own in the base runtime.
 	ShadowShared any
 	rounds       int
+	outBuf       []Msg
+	inBuf        []Msg
 }
 
-var _ Runtime = (*WrappedRuntime)(nil)
+var _ PortRuntime = (*WrappedRuntime)(nil)
 
 // ID forwards to the base runtime.
 func (w *WrappedRuntime) ID() graph.NodeID { return w.Base.ID() }
@@ -104,11 +117,80 @@ func (w *WrappedRuntime) Shared() any {
 // Round returns the number of simulated (virtual) rounds completed.
 func (w *WrappedRuntime) Round() int { return w.rounds }
 
-// Exchange runs the compiler's simulation of one payload round.
+// Degree returns the number of ports (the base runtime's degree).
+func (w *WrappedRuntime) Degree() int { return len(w.Base.Neighbors()) }
+
+// Neighbor returns the neighbour on port p.
+func (w *WrappedRuntime) Neighbor(p int) graph.NodeID { return w.Base.Neighbors()[p] }
+
+// Port returns the port of neighbour v, or -1.
+func (w *WrappedRuntime) Port(v graph.NodeID) int {
+	return portIndex(w.Base.Neighbors(), v)
+}
+
+// OutBuf returns the wrapper's reusable port-indexed outbox.
+func (w *WrappedRuntime) OutBuf() []Msg {
+	if w.outBuf == nil {
+		w.outBuf = make([]Msg, w.Degree())
+	}
+	return w.outBuf
+}
+
+// Exchange runs the compiler's simulation of one payload round on the map
+// boundary, adapting onto ExchangePortsFn when only that is set.
 func (w *WrappedRuntime) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg {
-	in := w.ExchangeFn(out)
+	if w.ExchangeFn != nil {
+		in := w.ExchangeFn(out)
+		w.rounds++
+		return in
+	}
+	buf := w.OutBuf()
+	clear(buf) // a map Exchange sends exactly the map's entries
+	for to, m := range out {
+		if m == nil {
+			continue
+		}
+		p := w.Port(to)
+		if p < 0 {
+			// Preserve the legacy failure mode: forwarding the bad outbox to
+			// the base runtime aborts the run with the canonical
+			// "sent to non-neighbor" error (it never returns on the engines'
+			// runtimes; panic as a last resort for exotic bases).
+			clear(buf)
+			w.Base.Exchange(out)
+			panic(fmt.Sprintf("congest: wrapped exchange to non-neighbor %d", to))
+		}
+		buf[p] = m
+	}
+	return portsToMap(w.Base.Neighbors(), w.ExchangePorts(buf))
+}
+
+// ExchangePorts runs the compiler's simulation of one payload round on the
+// port boundary, adapting onto the map ExchangeFn when only that is set.
+func (w *WrappedRuntime) ExchangePorts(out []Msg) []Msg {
+	if w.ExchangePortsFn != nil {
+		in := w.ExchangePortsFn(out)
+		clear(out) // uphold the consumed-outbox contract for reusable bufs
+		w.rounds++
+		return in
+	}
+	nbs := w.Base.Neighbors()
+	m := make(map[graph.NodeID]Msg, len(out))
+	for p, msg := range out {
+		if msg != nil {
+			m[nbs[p]] = msg
+			out[p] = nil
+		}
+	}
+	inm := w.ExchangeFn(m)
 	w.rounds++
-	return in
+	if w.inBuf == nil {
+		w.inBuf = make([]Msg, len(nbs))
+	}
+	for p, v := range nbs {
+		w.inBuf[p] = inm[v]
+	}
+	return w.inBuf
 }
 
 // SilentRound performs an Exchange sending nothing — handy for protocols

@@ -202,6 +202,7 @@ func Compile(payload congest.Protocol, cfg Config) congest.Protocol {
 		}
 		sim := &simulator{
 			rt:    rt,
+			pr:    congest.Ports(rt),
 			cfg:   cfg,
 			sh:    sh,
 			trees: sh.Views[rt.ID()],
@@ -216,6 +217,7 @@ func Compile(payload congest.Protocol, cfg Config) congest.Protocol {
 // simulator holds one node's compiler state.
 type simulator struct {
 	rt    congest.Runtime
+	pr    congest.PortRuntime
 	cfg   Config
 	sh    *Shared
 	trees []rsim.TreeView
@@ -231,13 +233,34 @@ func (s *simulator) exchange(out map[graph.NodeID]congest.Msg) map[graph.NodeID]
 			panic(fmt.Sprintf("resilient: payload message to %d has %d bytes, max %d", to, len(m), MaxPayloadBytes))
 		}
 	}
-	// Step 1: single-round message exchange.
-	in := s.rt.Exchange(out)
-	est := make(map[graph.NodeID]estimate, len(s.rt.Neighbors()))
-	for _, u := range s.rt.Neighbors() {
-		if m, ok := in[u]; ok {
-			v, l := packPayload(m)
-			est[u] = estimate{present: true, data: v, length: l}
+	// Step 1: single-round message exchange, on the port boundary. A payload
+	// send to a non-neighbor falls back to the map barrier, which aborts the
+	// run with the canonical error.
+	pout := s.pr.OutBuf()
+	valid := true
+	for to, m := range out {
+		if m == nil {
+			continue
+		}
+		p := s.pr.Port(to)
+		if p < 0 {
+			valid = false
+			break
+		}
+		pout[p] = m
+	}
+	est := make(map[graph.NodeID]estimate, s.pr.Degree())
+	if !valid {
+		clear(pout)
+		s.rt.Exchange(out) // aborts: non-neighbor send
+		panic("resilient: payload sent to non-neighbor")
+	} else {
+		in := s.pr.ExchangePorts(pout)
+		for p, m := range in {
+			if m != nil {
+				v, l := packPayload(m)
+				est[s.pr.Neighbor(p)] = estimate{present: true, data: v, length: l}
+			}
 		}
 	}
 	sent := make(map[graph.NodeID]estimate, len(out))

@@ -154,9 +154,10 @@ func decodeInitMsg(w []uint64) initMsg {
 // votes per word position (per-word voting matches the word-level
 // correction that follows).
 func (s *rewindSim) roundInit(nextOut map[graph.NodeID]entry, seed uint64, myHash map[graph.NodeID]uint64, gamma int, done bool) map[graph.NodeID]initMsg {
+	pr := congest.Ports(s.rt)
 	nbs := s.rt.Neighbors()
-	outMsgs := make(map[graph.NodeID]congest.Msg, len(nbs))
-	for _, v := range nbs {
+	outMsgs := make([]congest.Msg, len(nbs)) // per port
+	for p, v := range nbs {
 		m := initMsg{seed: seed, hash: myHash[v], gamma: uint64(gamma)}
 		if e, ok := nextOut[v]; ok && e.present && !done {
 			m.present = true
@@ -169,35 +170,36 @@ func (s *rewindSim) roundInit(nextOut map[graph.NodeID]entry, seed uint64, myHas
 		for _, w := range enc {
 			buf = congest.PutU64(buf, w)
 		}
-		outMsgs[v] = buf
+		outMsgs[p] = buf
 	}
-	votes := make(map[graph.NodeID][initWords]map[uint64]int, len(nbs))
-	for _, v := range nbs {
-		var vs [initWords]map[uint64]int
-		for i := range vs {
-			vs[i] = make(map[uint64]int)
+	votes := make([][initWords]map[uint64]int, len(nbs))
+	for p := range votes {
+		for i := range votes[p] {
+			votes[p][i] = make(map[uint64]int)
 		}
-		votes[v] = vs
 	}
 	for r := 0; r < s.cfg.InitRep; r++ {
-		in := s.rt.Exchange(cloneOut(outMsgs))
-		for _, v := range nbs {
-			m, ok := in[v]
-			if !ok {
+		out := pr.OutBuf()
+		for p, m := range outMsgs {
+			out[p] = m.Clone()
+		}
+		in := pr.ExchangePorts(out)
+		for p, m := range in {
+			if m == nil {
 				continue
 			}
 			ws := congest.Words64(m)
 			for i := 0; i < initWords && i < len(ws); i++ {
-				votes[v][i][ws[i]]++
+				votes[p][i][ws[i]]++
 			}
 		}
 	}
 	result := make(map[graph.NodeID]initMsg, len(nbs))
-	for _, v := range nbs {
+	for p, v := range nbs {
 		var ws [initWords]uint64
 		for i := 0; i < initWords; i++ {
 			best, bestCnt := uint64(0), 0
-			for val, c := range votes[v][i] {
+			for val, c := range votes[p][i] {
 				if c > bestCnt {
 					best, bestCnt = val, c
 				}
@@ -207,14 +209,6 @@ func (s *rewindSim) roundInit(nextOut map[graph.NodeID]entry, seed uint64, myHas
 		result[v] = decodeInitMsg(ws[:])
 	}
 	return result
-}
-
-func cloneOut(out map[graph.NodeID]congest.Msg) map[graph.NodeID]congest.Msg {
-	c := make(map[graph.NodeID]congest.Msg, len(out))
-	for k, v := range out {
-		c[k] = v.Clone()
-	}
-	return c
 }
 
 // --- message-correcting phase (Lemma 4.2) ---

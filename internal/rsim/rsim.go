@@ -178,6 +178,7 @@ func (c *committer) Offer(v []byte) bool {
 // tree). Every participating node must call it at the same round with the
 // same depthBound and rep.
 func BroadcastDown(rt congest.Runtime, trees []TreeView, payloads [][]byte, depthBound, rep int) [][]byte {
+	pr := congest.Ports(rt)
 	have := make([][]byte, len(trees))
 	commits := make([]*committer, len(trees))
 	for j := range trees {
@@ -188,22 +189,24 @@ func BroadcastDown(rt congest.Runtime, trees []TreeView, payloads [][]byte, dept
 	}
 	total := Rounds(depthBound, rep)
 	for r := 0; r < total; r++ {
-		out := make(map[graph.NodeID]congest.Msg)
+		out := pr.OutBuf()
 		for j, tv := range trees {
 			if tv.Depth < 0 || have[j] == nil {
 				continue
 			}
 			for _, c := range tv.Children {
-				out[c] = appendSection(out[c], j, have[j])
+				if p := pr.Port(c); p >= 0 {
+					out[p] = appendSection(out[p], j, have[j])
+				}
 			}
 		}
-		in := rt.Exchange(out)
+		in := pr.ExchangePorts(out)
 		for j, tv := range trees {
 			if tv.Depth <= 0 || tv.Parent < 0 || have[j] != nil {
 				continue
 			}
-			if m, ok := in[tv.Parent]; ok {
-				if sec, ok2 := parseFrame(m)[j]; ok2 {
+			if p := pr.Port(tv.Parent); p >= 0 && in[p] != nil {
+				if sec, ok2 := parseFrame(in[p])[j]; ok2 {
 					if commits[j].Offer(sec) {
 						have[j] = commits[j].value
 					}
@@ -225,6 +228,7 @@ type MergeFn func(treeIdx int, a, b []byte) []byte
 // tree's root, the tree aggregate (nil elsewhere or on failure). Must be
 // called in lock-step by all nodes with equal depthBound and rep.
 func ConvergecastUp(rt congest.Runtime, trees []TreeView, locals [][]byte, merge MergeFn, depthBound, rep int) [][]byte {
+	pr := congest.Ports(rt)
 	type key struct {
 		j     int
 		child graph.NodeID
@@ -244,14 +248,16 @@ func ConvergecastUp(rt congest.Runtime, trees []TreeView, locals [][]byte, merge
 	}
 	total := Rounds(depthBound, rep)
 	for r := 0; r < total; r++ {
-		out := make(map[graph.NodeID]congest.Msg)
+		out := pr.OutBuf()
 		for j, tv := range trees {
 			if tv.Depth <= 0 || tv.Parent < 0 || ready[j] == nil {
 				continue
 			}
-			out[tv.Parent] = appendSection(out[tv.Parent], j, ready[j])
+			if p := pr.Port(tv.Parent); p >= 0 {
+				out[p] = appendSection(out[p], j, ready[j])
+			}
 		}
-		in := rt.Exchange(out)
+		in := pr.ExchangePorts(out)
 		for j, tv := range trees {
 			if tv.Depth < 0 || ready[j] != nil {
 				continue
@@ -263,8 +269,8 @@ func ConvergecastUp(rt congest.Runtime, trees []TreeView, locals [][]byte, merge
 				if cm.done {
 					continue
 				}
-				if m, ok := in[c]; ok {
-					if sec, ok2 := parseFrame(m)[j]; ok2 {
+				if p := pr.Port(c); p >= 0 && in[p] != nil {
+					if sec, ok2 := parseFrame(in[p])[j]; ok2 {
 						cm.Offer(sec)
 					}
 				}

@@ -45,6 +45,7 @@ func MobileSecureBroadcast(f int) congest.Protocol {
 		if !ok {
 			panic("secure: run Config.Shared must be *secure.BroadcastShared")
 		}
+		pr := congest.Ports(rt)
 		views := sh.Views[rt.ID()]
 		k := len(views)
 		depth := rsim.MaxDepth(sh.Views)
@@ -62,25 +63,11 @@ func MobileSecureBroadcast(f int) congest.Protocol {
 		if ell < keysPerEdge+1 {
 			ell = keysPerEdge + 1
 		}
-		sent, recv := exchangeSecrets(rt, ell)
-		sendKeys := make(map[graph.NodeID]*KeyPool, len(sent))
-		recvKeys := make(map[graph.NodeID]*KeyPool, len(recv))
-		for v, stream := range sent {
-			pool, err := deriveKeys(stream, ell, keysPerEdge)
-			if err != nil {
-				panic("secure: broadcast key derivation failed")
-			}
-			sendKeys[v] = pool
-		}
-		for v, stream := range recv {
-			pool, err := deriveKeys(stream, ell, keysPerEdge)
-			if err != nil {
-				panic("secure: broadcast key derivation failed")
-			}
-			recvKeys[v] = pool
-		}
-		usedSend := make(map[graph.NodeID]int)
-		usedRecv := make(map[graph.NodeID]int)
+		sent, recv := exchangeSecrets(pr, ell)
+		sendKeys := deriveKeyPools(sent, ell, keysPerEdge, "broadcast")
+		recvKeys := deriveKeyPools(recv, ell, keysPerEdge, "broadcast")
+		usedSend := make([]int, pr.Degree())
+		usedRecv := make([]int, pr.Degree())
 
 		// Source: XOR-share the secret.
 		isSource := false
@@ -110,9 +97,9 @@ func MobileSecureBroadcast(f int) congest.Protocol {
 			}
 		}
 		for slot := 0; slot <= depth; slot++ {
-			out := make(map[graph.NodeID]congest.Msg)
+			out := pr.OutBuf()
 			type sendRec struct {
-				to   graph.NodeID
+				port int
 				tree int
 			}
 			var sends []sendRec
@@ -121,33 +108,37 @@ func MobileSecureBroadcast(f int) congest.Protocol {
 					continue
 				}
 				for _, c := range tv.Children {
-					sends = append(sends, sendRec{to: c, tree: j})
+					sends = append(sends, sendRec{port: pr.Port(c), tree: j})
 				}
 			}
 			for _, sr := range sends {
-				key := sendKeys[sr.to].Key(usedSend[sr.to])
-				usedSend[sr.to]++
+				key := sendKeys[sr.port].Key(usedSend[sr.port])
+				usedSend[sr.port]++
 				m := append(congest.Msg{byte(sr.tree)}, xorBytes(have[sr.tree], key)...)
 				// One message per edge per round in this scheme: tree edges
 				// are packing edges, and a (child, slot) pair receives from
 				// one parent in one tree at a time under load eta <= slots.
-				if prev, clash := out[sr.to]; clash {
+				if prev := out[sr.port]; prev != nil {
 					// Two trees share this edge and slot: concatenate; keys
 					// advance per share so secrecy is preserved.
-					out[sr.to] = append(prev, m...)
+					out[sr.port] = append(prev, m...)
 					continue
 				}
-				out[sr.to] = m
+				out[sr.port] = m
 			}
-			in := rt.Exchange(out)
-			for from, m := range in {
+			in := pr.ExchangePorts(out)
+			for p, m := range in {
+				if m == nil {
+					continue
+				}
+				from := pr.Neighbor(p)
 				for off := 0; off+9 <= len(m); off += 9 {
 					tree := int(m[off])
 					if tree < 0 || tree >= k {
 						continue
 					}
-					key := recvKeys[from].Key(usedRecv[from])
-					usedRecv[from]++
+					key := recvKeys[p].Key(usedRecv[p])
+					usedRecv[p]++
 					if views[tree].Parent == from && have[tree] == nil {
 						have[tree] = xorBytes(m[off+1:off+9], key)
 					}

@@ -3,7 +3,6 @@ package secure
 import (
 	"mobilecongest/internal/congest"
 	"mobilecongest/internal/gf"
-	"mobilecongest/internal/graph"
 	"mobilecongest/internal/hashfam"
 )
 
@@ -75,24 +74,11 @@ func CompileCongestionSensitive(payload congest.Protocol, cfg CSConfig) congest.
 		}
 		// Step 1: r keys of 6 bytes per edge-direction. Reuse the 8-byte
 		// pool machinery (we use the first 6 bytes of each key).
+		pr := congest.Ports(rt)
 		ell := cfg.R + cfg.KeySlack
-		sent, recv := exchangeSecrets(rt, ell)
-		sendKeys := make(map[graph.NodeID]*KeyPool, len(sent))
-		recvKeys := make(map[graph.NodeID]*KeyPool, len(recv))
-		for v, stream := range sent {
-			pool, err := deriveKeys(stream, ell, cfg.R)
-			if err != nil {
-				panic("secure: cs key derivation failed")
-			}
-			sendKeys[v] = pool
-		}
-		for v, stream := range recv {
-			pool, err := deriveKeys(stream, ell, cfg.R)
-			if err != nil {
-				panic("secure: cs key derivation failed")
-			}
-			recvKeys[v] = pool
-		}
+		sent, recv := exchangeSecrets(pr, ell)
+		sendKeys := deriveKeyPools(sent, ell, cfg.R, "congestion-sensitive")
+		recvKeys := deriveKeyPools(recv, ell, cfg.R, "congestion-sensitive")
 
 		// Step 2: the packing root broadcasts the hash seed; we reuse the
 		// mobile-secure broadcast inline. The root's "input" here is drawn
@@ -128,15 +114,16 @@ func CompileCongestionSensitive(payload congest.Protocol, cfg CSConfig) congest.
 		}
 
 		round := 0
+		dec := make([]congest.Msg, pr.Degree())
 		w := &congest.WrappedRuntime{Base: rt, ShadowShared: nil}
-		w.ExchangeFn = func(out map[graph.NodeID]congest.Msg) map[graph.NodeID]congest.Msg {
+		w.ExchangePortsFn = func(out []congest.Msg) []congest.Msg {
 			if round >= cfg.R {
 				panic("secure: payload exceeded its declared rounds")
 			}
-			enc := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
-			for _, v := range rt.Neighbors() {
+			enc := pr.OutBuf()
+			for p := 0; p < pr.Degree(); p++ {
 				var cipher [csCipherBytes]byte
-				if m, real := out[v]; real {
+				if m := out[p]; m != nil {
 					var sym gf.Elem
 					if len(m) > 2 {
 						panic("secure: congestion-sensitive payload message exceeds 2 bytes")
@@ -156,12 +143,15 @@ func CompileCongestionSensitive(payload congest.Protocol, cfg CSConfig) congest.
 					// Empty slot: uniform random ciphertext.
 					rt.Rand().Read(cipher[:])
 				}
-				enc[v] = xorBytes(cipher[:], sendKeys[v].Key(round))
+				enc[p] = xorBytes(cipher[:], sendKeys[p].Key(round))
 			}
-			in := rt.Exchange(enc)
-			dec := make(map[graph.NodeID]congest.Msg, len(in))
-			for v, m := range in {
-				plain := xorBytes(m, recvKeys[v].Key(round))
+			in := pr.ExchangePorts(enc)
+			for p, m := range in {
+				dec[p] = nil
+				if m == nil {
+					continue
+				}
+				plain := xorBytes(m, recvKeys[p].Key(round))
 				var ci img
 				for i := 0; i < 3; i++ {
 					if 2*i+1 < len(plain) {
@@ -169,7 +159,7 @@ func CompileCongestionSensitive(payload congest.Protocol, cfg CSConfig) congest.
 					}
 				}
 				if sym, okDec := table[ci]; okDec {
-					dec[v] = congest.Msg{byte(sym >> 8), byte(sym)}
+					dec[p] = congest.Msg{byte(sym >> 8), byte(sym)}
 				}
 			}
 			round++

@@ -62,28 +62,29 @@ func MobileSecureMulticast() congest.Protocol {
 		if !ok {
 			panic("secure: run Config.Shared must be *secure.MulticastShared")
 		}
+		pr := congest.Ports(rt)
 		me := rt.ID()
-		nbs := rt.Neighbors()
+		deg := pr.Degree()
 		r := len(sh.Instances)
 
 		// Key phase: one key per edge per instance, chosen by the higher-ID
-		// endpoint in round j.
-		keys := make([]map[graph.NodeID][]byte, r)
+		// endpoint in round j. keys[j][p] is instance j's key on port p.
+		keys := make([][][]byte, r)
 		for j := 0; j < r; j++ {
-			keys[j] = make(map[graph.NodeID][]byte, len(nbs))
-			out := make(map[graph.NodeID]congest.Msg)
-			for _, v := range nbs {
-				if me > v {
+			keys[j] = make([][]byte, deg)
+			out := pr.OutBuf()
+			for p := 0; p < deg; p++ {
+				if v := pr.Neighbor(p); me > v {
 					k := make([]byte, 8)
 					rt.Rand().Read(k)
-					keys[j][v] = k
-					out[v] = congest.Msg(k).Clone()
+					keys[j][p] = k
+					out[p] = congest.Msg(k).Clone()
 				}
 			}
-			in := rt.Exchange(out)
-			for v, m := range in {
-				if me < v {
-					keys[j][v] = m.Clone()
+			in := pr.ExchangePorts(out)
+			for p, m := range in {
+				if m != nil && me < pr.Neighbor(p) {
+					keys[j][p] = m.Clone()
 				}
 			}
 		}
@@ -92,12 +93,12 @@ func MobileSecureMulticast() congest.Protocol {
 		// physical round j+x (stagger). Each instance's per-edge message
 		// schedule mirrors runStaticUnicast.
 		type instState struct {
-			edgeVal map[graph.NodeID]uint64
+			edgeVal []uint64
 			secret  uint64
 		}
 		states := make([]*instState, r)
 		for j := range states {
-			states[j] = &instState{edgeVal: make(map[graph.NodeID]uint64)}
+			states[j] = &instState{edgeVal: make([]uint64, deg)}
 			if sh.Instances[j].Source == me {
 				off := 8 * j
 				input := rt.Input()
@@ -109,10 +110,10 @@ func MobileSecureMulticast() congest.Protocol {
 		depthMax := sh.MaxDepth()
 		totalRounds := r + depthMax // staggered windows
 		for phys := 0; phys < totalRounds; phys++ {
-			out := make(map[graph.NodeID]congest.Msg)
-			appendMsg := func(v graph.NodeID, j int, val uint64) {
+			out := pr.OutBuf()
+			appendMsg := func(p int, j int, val uint64) {
 				m := congest.PutU64(congest.Msg{byte(j)}, val)
-				out[v] = append(out[v], xorTail(m, keys[j][v])...)
+				out[p] = append(out[p], xorTail(m, keys[j][p])...)
 			}
 			for j := 0; j < r; j++ {
 				x := phys - j // instance-local round
@@ -123,41 +124,46 @@ func MobileSecureMulticast() congest.Protocol {
 				st := states[j]
 				if x == 0 {
 					// Non-tree edges: higher endpoint draws.
-					for _, v := range nbs {
-						if isTreeEdgeOf(tree, me, v) || me < v {
+					for p := 0; p < deg; p++ {
+						if v := pr.Neighbor(p); isTreeEdgeOf(tree, me, v) || me < v {
 							continue
 						}
 						val := rt.Rand().Uint64()
-						st.edgeVal[v] = val
-						appendMsg(v, j, val)
+						st.edgeVal[p] = val
+						appendMsg(p, j, val)
 					}
 					continue
 				}
 				// Depth slot: node at depth d sends at x = depthMax-d+1.
 				if me != tree.Target && tree.Depth[me] == depthMax-x+1 {
 					var acc uint64
-					parent := tree.Parent[me]
-					for _, v := range nbs {
-						if v != parent {
-							acc ^= st.edgeVal[v]
+					parentPort := pr.Port(tree.Parent[me])
+					for p := 0; p < deg; p++ {
+						if p != parentPort {
+							acc ^= st.edgeVal[p]
 						}
 					}
 					if sh.Instances[j].Source == me {
 						acc ^= st.secret
 					}
-					st.edgeVal[parent] = acc
-					appendMsg(parent, j, acc)
+					if parentPort >= 0 {
+						st.edgeVal[parentPort] = acc
+						appendMsg(parentPort, j, acc)
+					}
 				}
 			}
-			in := rt.Exchange(out)
-			for v, m := range in {
+			in := pr.ExchangePorts(out)
+			for p, m := range in {
+				if m == nil {
+					continue
+				}
 				for off := 0; off+9 <= len(m); off += 9 {
 					j := int(m[off])
 					if j < 0 || j >= r {
 						continue
 					}
-					dec := xorTail(append(congest.Msg{m[off]}, m[off+1:off+9]...), keys[j][v])
-					states[j].edgeVal[v] = congest.U64(dec[1:])
+					dec := xorTail(append(congest.Msg{m[off]}, m[off+1:off+9]...), keys[j][p])
+					states[j].edgeVal[p] = congest.U64(dec[1:])
 				}
 			}
 		}
@@ -167,8 +173,8 @@ func MobileSecureMulticast() congest.Protocol {
 				continue
 			}
 			var acc uint64
-			for _, v := range nbs {
-				acc ^= states[j].edgeVal[v]
+			for p := 0; p < deg; p++ {
+				acc ^= states[j].edgeVal[p]
 			}
 			if sh.Instances[j].Source == me {
 				acc ^= states[j].secret

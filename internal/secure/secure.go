@@ -18,7 +18,6 @@ import (
 	"mobilecongest/internal/congest"
 	"mobilecongest/internal/extract"
 	"mobilecongest/internal/gf"
-	"mobilecongest/internal/graph"
 )
 
 // field is the shared GF(2^16) instance.
@@ -71,39 +70,55 @@ func xorBytes(msg congest.Msg, key []byte) congest.Msg {
 }
 
 // exchangeSecrets runs ell rounds in which every node sends 8 fresh random
-// bytes to every neighbour, and returns per-direction symbol streams:
-// fwd[v][j] = j-th symbol I sent to v; bwd[v][j] = j-th symbol I received
-// from v. Both endpoints of an edge end with identical views of both
-// streams — the shared randomness pool of Theorem 1.2's first phase.
-func exchangeSecrets(rt congest.Runtime, ell int) (sentStream, recvStream map[graph.NodeID][]gf.Elem) {
-	nbs := rt.Neighbors()
-	sentStream = make(map[graph.NodeID][]gf.Elem, len(nbs))
-	recvStream = make(map[graph.NodeID][]gf.Elem, len(nbs))
+// bytes to every neighbour, and returns port-indexed symbol streams:
+// fwd[p][j] = j-th symbol I sent on port p; bwd[p][j] = j-th symbol I
+// received on port p. Both endpoints of an edge end with identical views of
+// both streams — the shared randomness pool of Theorem 1.2's first phase.
+// Randomness is drawn in ascending port (== neighbour) order, matching the
+// pre-port map implementation byte for byte.
+func exchangeSecrets(pr congest.PortRuntime, ell int) (sentStream, recvStream [][]gf.Elem) {
+	deg := pr.Degree()
+	sentStream = make([][]gf.Elem, deg)
+	recvStream = make([][]gf.Elem, deg)
 	for r := 0; r < ell; r++ {
-		out := make(map[graph.NodeID]congest.Msg, len(nbs))
-		for _, v := range nbs {
+		out := pr.OutBuf()
+		for p := 0; p < deg; p++ {
 			m := make(congest.Msg, 8)
 			for i := 0; i < wordSymbols; i++ {
-				s := gf.Elem(rt.Rand().Intn(field.Order()))
+				s := gf.Elem(pr.Rand().Intn(field.Order()))
 				m[2*i] = byte(s >> 8)
 				m[2*i+1] = byte(s)
-				sentStream[v] = append(sentStream[v], s)
+				sentStream[p] = append(sentStream[p], s)
 			}
-			out[v] = m
+			out[p] = m
 		}
-		in := rt.Exchange(out)
-		for _, v := range nbs {
-			m := in[v] // eavesdroppers never drop messages
+		in := pr.ExchangePorts(out)
+		for p := 0; p < deg; p++ {
+			m := in[p] // eavesdroppers never drop messages
 			for i := 0; i < wordSymbols; i++ {
 				var s gf.Elem
 				if 2*i+1 < len(m) {
 					s = gf.Elem(m[2*i])<<8 | gf.Elem(m[2*i+1])
 				}
-				recvStream[v] = append(recvStream[v], s)
+				recvStream[p] = append(recvStream[p], s)
 			}
 		}
 	}
 	return sentStream, recvStream
+}
+
+// deriveKeyPools condenses port-indexed symbol streams into one KeyPool per
+// port, panicking on extractor failure with the given context tag.
+func deriveKeyPools(streams [][]gf.Elem, ell, r int, tag string) []*KeyPool {
+	pools := make([]*KeyPool, len(streams))
+	for p, stream := range streams {
+		pool, err := deriveKeys(stream, ell, r)
+		if err != nil {
+			panic(fmt.Sprintf("secure: %s key derivation: %v", tag, err))
+		}
+		pools[p] = pool
+	}
+	return pools
 }
 
 // deriveKeys condenses an ell-round symbol stream into r 8-byte keys with a
@@ -135,44 +150,40 @@ func deriveKeys(stream []gf.Elem, ell, r int) (*KeyPool, error) {
 // f'-mobile-secure protocol per Theorem 1.2: Phase 1 spends ell = r+t rounds
 // building key pools; Phase 2 simulates the payload round-by-round with
 // every message one-time-padded. Payload messages must be at most 8 bytes.
-// The payload must exchange at most r times.
+// The payload must exchange at most r times. The compiler is port-native:
+// both phases and the per-round pad run on the slot boundary, and map
+// payloads still work through WrappedRuntime's compat adaptation.
 func StaticToMobile(payload congest.Protocol, r, t int) congest.Protocol {
 	ell := r + t
 	return func(rt congest.Runtime) {
-		sent, recv := exchangeSecrets(rt, ell)
-		sendKeys := make(map[graph.NodeID]*KeyPool, len(sent))
-		recvKeys := make(map[graph.NodeID]*KeyPool, len(recv))
-		for v, stream := range sent {
-			pool, err := deriveKeys(stream, ell, r)
-			if err != nil {
-				panic(fmt.Sprintf("secure: key derivation: %v", err))
-			}
-			sendKeys[v] = pool
-		}
-		for v, stream := range recv {
-			pool, err := deriveKeys(stream, ell, r)
-			if err != nil {
-				panic(fmt.Sprintf("secure: key derivation: %v", err))
-			}
-			recvKeys[v] = pool
-		}
+		pr := congest.Ports(rt)
+		sent, recv := exchangeSecrets(pr, ell)
+		sendKeys := deriveKeyPools(sent, ell, r, "static-to-mobile")
+		recvKeys := deriveKeyPools(recv, ell, r, "static-to-mobile")
 		round := 0
+		dec := make([]congest.Msg, pr.Degree())
 		w := &congest.WrappedRuntime{Base: rt}
-		w.ExchangeFn = func(out map[graph.NodeID]congest.Msg) map[graph.NodeID]congest.Msg {
+		w.ExchangePortsFn = func(out []congest.Msg) []congest.Msg {
 			if round >= r {
 				panic(fmt.Sprintf("secure: payload exceeded its declared %d rounds", r))
 			}
-			enc := make(map[graph.NodeID]congest.Msg, len(out))
-			for v, m := range out {
+			penc := pr.OutBuf()
+			for p, m := range out {
+				if m == nil {
+					continue
+				}
 				if len(m) > 8 {
 					panic("secure: payload message exceeds 8 bytes")
 				}
-				enc[v] = xorBytes(m, sendKeys[v].Key(round))
+				penc[p] = xorBytes(m, sendKeys[p].Key(round))
 			}
-			in := rt.Exchange(enc)
-			dec := make(map[graph.NodeID]congest.Msg, len(in))
-			for v, m := range in {
-				dec[v] = xorBytes(m, recvKeys[v].Key(round))
+			in := pr.ExchangePorts(penc)
+			for p, m := range in {
+				if m == nil {
+					dec[p] = nil
+					continue
+				}
+				dec[p] = xorBytes(m, recvKeys[p].Key(round))
 			}
 			round++
 			return dec

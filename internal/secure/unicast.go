@@ -63,9 +63,12 @@ func StaticSecureUnicast(s graph.NodeID) congest.Protocol {
 }
 
 // runStaticUnicast executes the random-flow scheme; keyFor, when non-nil,
-// supplies a one-time-pad key per directed neighbour message (the mobile
-// variant). It returns the value at the target (0 elsewhere).
-func runStaticUnicast(rt congest.Runtime, sh *UnicastShared, s graph.NodeID, keyFor func(to graph.NodeID) []byte) {
+// supplies a one-time-pad key per outgoing port (the mobile variant). It
+// returns the value at the target (0 elsewhere). The scheme is port-native:
+// per-edge values live in a port-indexed slice and every round moves through
+// the runtime's reusable port buffers.
+func runStaticUnicast(rt congest.Runtime, sh *UnicastShared, s graph.NodeID, keyFor func(port int) []byte) {
+	pr := congest.Ports(rt)
 	me := rt.ID()
 	depthMax := sh.MaxDepth()
 	var secret uint64
@@ -73,64 +76,73 @@ func runStaticUnicast(rt congest.Runtime, sh *UnicastShared, s graph.NodeID, key
 		secret = congest.U64(rt.Input())
 	}
 
-	// edgeVal[v] is the value of edge (me, v) once known.
-	edgeVal := make(map[graph.NodeID]uint64, len(rt.Neighbors()))
+	// edgeVal[p] is the value of the edge on port p once known.
+	edgeVal := make([]uint64, pr.Degree())
 	parent := sh.Parent[me]
+	parentPort := -1
+	if parent >= 0 {
+		parentPort = pr.Port(parent)
+	}
 	isTreeEdge := func(a, b graph.NodeID) bool {
 		return sh.Parent[a] == b || sh.Parent[b] == a
 	}
-	encrypt := func(v graph.NodeID, m congest.Msg) congest.Msg {
+	encrypt := func(p int, m congest.Msg) congest.Msg {
 		if keyFor == nil {
 			return m
 		}
-		return xorBytes(m, keyFor(v))
+		return xorBytes(m, keyFor(p))
 	}
 	decrypt := encrypt
 
 	// Round 1: non-tree edges — the higher-ID endpoint draws the value.
-	out := make(map[graph.NodeID]congest.Msg)
-	for _, v := range rt.Neighbors() {
+	out := pr.OutBuf()
+	for p := 0; p < pr.Degree(); p++ {
+		v := pr.Neighbor(p)
 		if isTreeEdge(me, v) || me < v {
 			continue
 		}
 		val := rt.Rand().Uint64()
-		edgeVal[v] = val
-		out[v] = encrypt(v, congest.U64Msg(val))
+		edgeVal[p] = val
+		out[p] = encrypt(p, congest.U64Msg(val))
 	}
-	in := rt.Exchange(out)
-	for v, m := range in {
-		edgeVal[v] = congest.U64(decrypt(v, m))
+	in := pr.ExchangePorts(out)
+	for p, m := range in {
+		if m != nil {
+			edgeVal[p] = congest.U64(decrypt(p, m))
+		}
 	}
 
 	// Rounds 2..depthMax+1: nodes at depth d send their balanced parent
 	// value in round (depthMax - d + 2); shallower nodes have all child
 	// values by then.
 	for r := 0; r < depthMax; r++ {
-		out = make(map[graph.NodeID]congest.Msg)
-		if me != sh.Target && sh.Depth[me] == depthMax-r {
+		out = pr.OutBuf()
+		if me != sh.Target && sh.Depth[me] == depthMax-r && parentPort >= 0 {
 			var acc uint64
-			for _, v := range rt.Neighbors() {
-				if v == parent {
+			for p := range edgeVal {
+				if p == parentPort {
 					continue
 				}
-				acc ^= edgeVal[v] // zero if the edge has no value (leaf side)
+				acc ^= edgeVal[p] // zero if the edge has no value (leaf side)
 			}
 			if me == s {
 				acc ^= secret
 			}
-			edgeVal[parent] = acc
-			out[parent] = encrypt(parent, congest.U64Msg(acc))
+			edgeVal[parentPort] = acc
+			out[parentPort] = encrypt(parentPort, congest.U64Msg(acc))
 		}
-		in = rt.Exchange(out)
-		for v, m := range in {
-			edgeVal[v] = congest.U64(decrypt(v, m))
+		in = pr.ExchangePorts(out)
+		for p, m := range in {
+			if m != nil {
+				edgeVal[p] = congest.U64(decrypt(p, m))
+			}
 		}
 	}
 
 	if me == sh.Target {
 		var acc uint64
-		for _, v := range rt.Neighbors() {
-			acc ^= edgeVal[v]
+		for _, v := range edgeVal {
+			acc ^= v
 		}
 		if me == s {
 			acc ^= secret // degenerate s == t case
@@ -153,23 +165,24 @@ func MobileSecureUnicast(s graph.NodeID) congest.Protocol {
 			panic("secure: run Config.Shared must be *secure.UnicastShared")
 		}
 		// Preliminary round: K(u,v) chosen by the higher-ID endpoint.
-		keys := make(map[graph.NodeID][]byte, len(rt.Neighbors()))
-		out := make(map[graph.NodeID]congest.Msg)
-		for _, v := range rt.Neighbors() {
-			if rt.ID() > v {
+		pr := congest.Ports(rt)
+		keys := make([][]byte, pr.Degree())
+		out := pr.OutBuf()
+		for p := 0; p < pr.Degree(); p++ {
+			if v := pr.Neighbor(p); rt.ID() > v {
 				k := make([]byte, 8)
 				rt.Rand().Read(k)
-				keys[v] = k
-				out[v] = congest.Msg(k).Clone()
+				keys[p] = k
+				out[p] = congest.Msg(k).Clone()
 			}
 		}
-		in := rt.Exchange(out)
-		for v, m := range in {
-			if rt.ID() < v {
-				keys[v] = m.Clone()
+		in := pr.ExchangePorts(out)
+		for p, m := range in {
+			if m != nil && rt.ID() < pr.Neighbor(p) {
+				keys[p] = m.Clone()
 			}
 		}
-		runStaticUnicast(rt, sh, s, func(to graph.NodeID) []byte { return keys[to] })
+		runStaticUnicast(rt, sh, s, func(port int) []byte { return keys[port] })
 	}
 }
 

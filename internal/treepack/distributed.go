@@ -31,22 +31,23 @@ type DistPackingResult struct {
 // paper computes general-graph packings in a trusted preprocessing phase).
 func DistributedGreedyPacking(k, flood int) congest.Protocol {
 	return func(rt congest.Runtime) {
-		nbs := rt.Neighbors()
-		load := make(map[graph.NodeID]int, len(nbs))
+		pr := congest.Ports(rt)
+		load := make([]int, pr.Degree()) // per-port local edge load
 		parents := make([]graph.NodeID, 0, k)
 		for iter := 0; iter < k; iter++ {
-			parent := buildTreePrim(rt, load, flood)
+			parent := buildTreePrim(pr, load, flood)
 			parents = append(parents, parent)
 			// Count the tree edge's load on both endpoints.
-			out := make(map[graph.NodeID]congest.Msg)
+			out := pr.OutBuf()
 			if parent >= 0 {
-				load[parent]++
-				out[parent] = congest.U64Msg(1)
+				pp := pr.Port(parent)
+				load[pp]++
+				out[pp] = congest.U64Msg(1)
 			}
-			in := rt.Exchange(out)
-			for from, m := range in {
-				if congest.U64(m) == 1 {
-					load[from]++
+			in := pr.ExchangePorts(out)
+			for p, m := range in {
+				if m != nil && congest.U64(m) == 1 {
+					load[p]++
 				}
 			}
 		}
@@ -71,79 +72,88 @@ const noCand = ^uint64(0)
 // (-1 for the root, node n-1). Each of the n-1 join steps: (1) exchange
 // in-tree flags, (2) flood the fragment's cheapest outgoing edge, (3) the
 // winning inside endpoint invites the outside endpoint, which joins.
-func buildTreePrim(rt congest.Runtime, load map[graph.NodeID]int, flood int) graph.NodeID {
-	me := rt.ID()
-	nbs := rt.Neighbors()
-	root := graph.NodeID(rt.N() - 1)
+func buildTreePrim(pr congest.PortRuntime, load []int, flood int) graph.NodeID {
+	me := pr.ID()
+	deg := pr.Degree()
+	root := graph.NodeID(pr.N() - 1)
 	inTree := me == root
 	parent := graph.NodeID(-1)
+	nbIn := make([]bool, deg)
 
-	for step := 0; step < rt.N()-1; step++ {
+	for step := 0; step < pr.N()-1; step++ {
 		// Round 1: share in-tree status.
 		flag := uint64(0)
 		if inTree {
 			flag = 1
 		}
-		in := rt.Exchange(broadcastWord(rt, flag))
-		nbIn := make(map[graph.NodeID]bool, len(nbs))
-		for _, v := range nbs {
-			if m, ok := in[v]; ok && congest.U64(m) == 1 {
-				nbIn[v] = true
-			}
+		out := pr.OutBuf()
+		word := congest.U64Msg(flag)
+		for p := range out {
+			out[p] = word
+		}
+		in := pr.ExchangePorts(out)
+		for p := range nbIn {
+			nbIn[p] = in[p] != nil && congest.U64(in[p]) == 1
 		}
 		// Local candidate: my cheapest edge to an outside neighbour.
 		bestW, bestA, bestB := noCand, graph.NodeID(-1), graph.NodeID(-1)
 		if inTree {
-			for _, v := range nbs {
-				if nbIn[v] {
+			for p := 0; p < deg; p++ {
+				if nbIn[p] {
 					continue
 				}
-				w := weightOf(load[v])
-				if better(w, me, v, bestW, bestA, bestB) {
-					bestW, bestA, bestB = w, me, v
+				w := weightOf(load[p])
+				if better(w, me, pr.Neighbor(p), bestW, bestA, bestB) {
+					bestW, bestA, bestB = w, me, pr.Neighbor(p)
 				}
 			}
 		}
 		// Flood the fragment minimum over inside-inside edges (the inside
 		// subgraph is connected: it contains the tree built so far).
 		for fr := 0; fr < flood; fr++ {
-			out := make(map[graph.NodeID]congest.Msg, len(nbs))
+			out := pr.OutBuf()
 			if inTree {
 				enc := encodeCand(bestW, bestA, bestB)
-				for _, v := range nbs {
-					if nbIn[v] {
-						out[v] = enc
+				for p := 0; p < deg; p++ {
+					if nbIn[p] {
+						out[p] = enc
 					}
 				}
 			}
-			in := rt.Exchange(out)
+			in := pr.ExchangePorts(out)
 			if !inTree {
 				continue
 			}
-			for _, v := range nbs {
-				if !nbIn[v] {
+			for p := 0; p < deg; p++ {
+				if !nbIn[p] || in[p] == nil {
 					continue
 				}
-				if m, ok := in[v]; ok {
-					w, a, b := decodeCand(m)
-					if better(w, a, b, bestW, bestA, bestB) {
-						bestW, bestA, bestB = w, a, b
-					}
+				w, a, b := decodeCand(in[p])
+				if better(w, a, b, bestW, bestA, bestB) {
+					bestW, bestA, bestB = w, a, b
 				}
 			}
 		}
 		// Round 3: the winning inside endpoint invites; the invited node
 		// joins with the inviter as parent.
-		out := make(map[graph.NodeID]congest.Msg)
+		out = pr.OutBuf()
 		if inTree && bestA == me && bestB >= 0 {
-			out[bestB] = congest.U64Msg(0x4A4F494E) // "JOIN"
+			if bp := pr.Port(bestB); bp >= 0 {
+				out[bp] = congest.U64Msg(0x4A4F494E) // "JOIN"
+			} else {
+				// A corrupted flood candidate can name a non-neighbor; abort
+				// with the canonical error, like the map outbox used to (and
+				// never fall through desynced if a wrapper tolerates it).
+				pr.Exchange(map[graph.NodeID]congest.Msg{bestB: congest.U64Msg(0x4A4F494E)})
+				panic("treepack: invited join target is not adjacent")
+			}
 		}
-		in = rt.Exchange(out)
+		in = pr.ExchangePorts(out)
 		if !inTree {
-			for from, m := range in {
-				if congest.U64(m) == 0x4A4F494E {
+			for p, m := range in {
+				if m != nil && congest.U64(m) == 0x4A4F494E {
 					inTree = true
-					parent = from
+					parent = pr.Neighbor(p)
 					break
 				}
 			}
@@ -177,14 +187,6 @@ func canonPair(a, b graph.NodeID) (graph.NodeID, graph.NodeID) {
 		return b, a
 	}
 	return a, b
-}
-
-func broadcastWord(rt congest.Runtime, w uint64) map[graph.NodeID]congest.Msg {
-	out := make(map[graph.NodeID]congest.Msg, len(rt.Neighbors()))
-	for _, v := range rt.Neighbors() {
-		out[v] = congest.U64Msg(w)
-	}
-	return out
 }
 
 func encodeCand(w uint64, a, b graph.NodeID) congest.Msg {

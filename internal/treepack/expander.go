@@ -34,34 +34,36 @@ func ExpanderPackingPadded(k, z, pad int) congest.Protocol {
 
 func expanderProtocol(k, z, pad int) congest.Protocol {
 	return func(rt congest.Runtime) {
-		nbs := rt.Neighbors()
+		pr := congest.Ports(rt)
+		deg := pr.Degree()
 		// Logical round 1: higher-ID endpoint picks each edge's colour.
-		myColor := make(map[graph.NodeID]uint64, len(nbs)) // proposals for edges I own
-		for _, v := range nbs {
-			if rt.ID() > v {
-				myColor[v] = uint64(rt.Rand().Intn(k))
+		myColor := make([]uint64, deg) // proposals for edges I own, by port
+		mine := make([]bool, deg)
+		for p := 0; p < deg; p++ {
+			if v := pr.Neighbor(p); rt.ID() > v {
+				myColor[p] = uint64(rt.Rand().Intn(k))
+				mine[p] = true
 			}
 		}
-		buildOut := func() map[graph.NodeID]congest.Msg {
-			out := make(map[graph.NodeID]congest.Msg, len(nbs))
-			for _, v := range nbs {
-				if c, mine := myColor[v]; mine {
-					out[v] = congest.U64Msg(c)
+		buildOut := func(out []congest.Msg) {
+			for p := 0; p < deg; p++ {
+				if mine[p] {
+					out[p] = congest.U64Msg(myColor[p])
 				} else {
-					out[v] = congest.U64Msg(0) // keep traffic volume symmetric
+					out[p] = congest.U64Msg(0) // keep traffic volume symmetric
 				}
 			}
-			return out
 		}
-		colorIn := paddedExchange(rt, buildOut, pad)
-		color := make(map[graph.NodeID]int, len(nbs)) // final colour per incident edge
-		for _, v := range nbs {
-			if c, mine := myColor[v]; mine {
-				color[v] = int(c % uint64(k))
-			} else if m, ok := colorIn[v]; ok {
-				color[v] = int(congest.U64(m) % uint64(k))
-			} else {
-				color[v] = -1 // no colour heard; edge unusable
+		colorIn := paddedExchange(pr, buildOut, pad)
+		color := make([]int, deg) // final colour per incident edge, by port
+		for p := 0; p < deg; p++ {
+			switch {
+			case mine[p]:
+				color[p] = int(myColor[p] % uint64(k))
+			case colorIn[p] != nil:
+				color[p] = int(congest.U64(colorIn[p]) % uint64(k))
+			default:
+				color[p] = -1 // no colour heard; edge unusable
 			}
 		}
 		// BFS-to-max-ID per colour. I track best ID seen and parent per
@@ -75,73 +77,72 @@ func expanderProtocol(k, z, pad int) congest.Protocol {
 			parent[i] = -1
 		}
 		for round := 0; round < z; round++ {
-			buildBFS := func() map[graph.NodeID]congest.Msg {
-				out := make(map[graph.NodeID]congest.Msg, len(nbs))
-				for _, v := range nbs {
-					c := color[v]
+			buildBFS := func(out []congest.Msg) {
+				for p := 0; p < deg; p++ {
+					c := color[p]
 					if c < 0 {
-						out[v] = congest.U64Msg(0)
+						out[p] = congest.U64Msg(0)
 						continue
 					}
-					out[v] = congest.U64Msg(best[c])
+					out[p] = congest.U64Msg(best[c])
 				}
-				return out
 			}
-			in := paddedExchange(rt, buildBFS, pad)
-			for _, v := range nbs {
-				c := color[v]
-				if c < 0 {
+			in := paddedExchange(pr, buildBFS, pad)
+			for p := 0; p < deg; p++ {
+				c := color[p]
+				if c < 0 || in[p] == nil {
 					continue
 				}
-				m, ok := in[v]
-				if !ok {
-					continue
-				}
-				val := congest.U64(m)
+				val := congest.U64(in[p])
 				if val > best[c] && val <= uint64(rt.N()) {
 					best[c] = val
-					parent[c] = v
+					parent[c] = pr.Neighbor(p)
 				}
 			}
 		}
 		// Final logical round: notify parents so orientations are mutual
 		// (per the paper); the parent array itself is the result we keep.
-		buildNotify := func() map[graph.NodeID]congest.Msg {
-			out := make(map[graph.NodeID]congest.Msg, len(nbs))
-			for _, v := range nbs {
+		buildNotify := func(out []congest.Msg) {
+			for p := 0; p < deg; p++ {
 				var mask uint64
 				for c := 0; c < k && c < 64; c++ {
-					if parent[c] == v {
+					if parent[c] == pr.Neighbor(p) {
 						mask |= 1 << uint(c)
 					}
 				}
-				out[v] = congest.U64Msg(mask)
+				out[p] = congest.U64Msg(mask)
 			}
-			return out
 		}
-		paddedExchange(rt, buildNotify, pad)
+		paddedExchange(pr, buildNotify, pad)
 		rt.SetOutput(ExpanderResult{Parent: parent})
 	}
 }
 
-// paddedExchange sends the same outbox pad times and returns the
-// per-neighbour majority message (nil when no majority).
-func paddedExchange(rt congest.Runtime, build func() map[graph.NodeID]congest.Msg, pad int) map[graph.NodeID]congest.Msg {
+// paddedExchange builds and sends the same port outbox pad times and returns
+// the per-port majority message (nil when no majority).
+func paddedExchange(pr congest.PortRuntime, build func(out []congest.Msg), pad int) []congest.Msg {
 	if pad <= 1 {
-		return rt.Exchange(build())
+		out := pr.OutBuf()
+		build(out)
+		return pr.ExchangePorts(out)
 	}
-	counts := make(map[graph.NodeID]map[string]int)
+	counts := make([]map[string]int, pr.Degree())
 	for r := 0; r < pad; r++ {
-		in := rt.Exchange(build())
-		for from, m := range in {
-			if counts[from] == nil {
-				counts[from] = make(map[string]int)
+		out := pr.OutBuf()
+		build(out)
+		in := pr.ExchangePorts(out)
+		for p, m := range in {
+			if m == nil {
+				continue
 			}
-			counts[from][string(m)]++
+			if counts[p] == nil {
+				counts[p] = make(map[string]int)
+			}
+			counts[p][string(m)]++
 		}
 	}
-	out := make(map[graph.NodeID]congest.Msg)
-	for from, cs := range counts {
+	res := make([]congest.Msg, pr.Degree())
+	for p, cs := range counts {
 		bestCnt := 0
 		var bestMsg string
 		for m, c := range cs {
@@ -151,10 +152,10 @@ func paddedExchange(rt congest.Runtime, build func() map[graph.NodeID]congest.Ms
 			}
 		}
 		if bestCnt*2 > pad {
-			out[from] = congest.Msg(bestMsg)
+			res[p] = congest.Msg(bestMsg)
 		}
 	}
-	return out
+	return res
 }
 
 // AssemblePacking collects the per-node ExpanderResult outputs of a run into

@@ -35,12 +35,18 @@
 // resumed as coroutine step functions on one scheduler goroutine — the fast
 // default). Both produce identical Results for identical scenarios.
 //
-// The adversary boundary is slot-native: an Adversary reads and corrupts
-// each round through a RoundTraffic view over the run's flat edge layout, so
-// adversarial rounds materialize no traffic maps; legacy map-based
-// adversaries keep working behind AdaptTraffic. Repeated Run calls on one
-// Scenario, and every Sweep worker, reuse a RunContext that amortizes the
-// run's layout, buffers, and RNG state across runs.
+// The simulation pipeline is slot-native end to end. Protocols program
+// against PortRuntime (via Ports): a node's ports are its neighbours in
+// ascending order, and ExchangePorts moves each round through reusable
+// port-indexed []Msg buffers that alias the run's flat round buffers — a
+// fault-free round allocates no maps at all, and the legacy map Exchange
+// survives as a compat wrapper. The adversary boundary is likewise
+// slot-native: an Adversary reads and corrupts each round through a
+// RoundTraffic view over the run's flat edge layout, so adversarial rounds
+// materialize no traffic maps; legacy map-based adversaries keep working
+// behind AdaptTraffic. Repeated Run calls on one Scenario, and every Sweep
+// worker, reuse a RunContext that amortizes the run's layout, buffers, and
+// RNG state across runs.
 //
 // Parameter sweeps fan a Grid of scenarios out across GOMAXPROCS workers with
 // deterministic per-cell seeds and return JSON-serializable Records:
@@ -80,8 +86,11 @@ type (
 	Msg = congest.Msg
 	// Protocol is per-node protocol code.
 	Protocol = congest.Protocol
-	// Runtime is the interface protocol code sees.
+	// Runtime is the map-level interface protocol code sees.
 	Runtime = congest.Runtime
+	// PortRuntime is the port-indexed (slot-native) runtime protocol code
+	// should program against on hot paths; obtain one with Ports.
+	PortRuntime = congest.PortRuntime
 	// RunConfig parameterizes a simulation run.
 	RunConfig = congest.Config
 	// Result is a run outcome.
@@ -106,6 +115,13 @@ type (
 // traffic-map materialization per round; see the README's "Writing a custom
 // adversary" section for migrating to the slot-native interface.
 func AdaptTraffic(a TrafficAdversary) Adversary { return congest.AdaptTraffic(a) }
+
+// Ports returns rt's port-native interface: rt itself when it is already
+// port-aware (both engines' runtimes and WrappedRuntime are), otherwise a
+// map-backed compat shim. Port-native protocols exchange through reusable
+// port-indexed []Msg buffers and allocate no per-round maps; see the
+// README's "Writing a protocol" section.
+func Ports(rt Runtime) PortRuntime { return congest.Ports(rt) }
 
 // Run executes a protocol on a graph with the goroutine engine; see
 // congest.Run.

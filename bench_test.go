@@ -9,6 +9,7 @@
 package mobilecongest_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -66,6 +67,83 @@ func BenchmarkRun(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkProtocol exercises the protocol-registry axis on the heavier
+// payload fleet: BFS on circulant256 (a long-diameter flood with per-port
+// state) and Borůvka MST on clique64 (MSTClique is a congested-clique
+// protocol, so its cell runs on the clique family — n*n-weight inputs,
+// all-to-all announcements every round). Protocols are resolved by registry
+// name, so this also pins the WithProtocolName build path's overhead.
+func BenchmarkProtocol(b *testing.B) {
+	cases := []struct {
+		proto, topo string
+		n, k        int
+	}{
+		{"bfs", "circulant", 256, 4},
+		{"mstclique", "clique", 64, 0},
+	}
+	for _, engine := range mc.EngineNames() {
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/%s-%s%d", engine, c.proto, c.topo, c.n), func(b *testing.B) {
+				sc := mc.NewScenario(
+					mc.WithTopology(c.topo, c.n, c.k),
+					mc.WithProtocolName(c.proto),
+					mc.WithSeed(1),
+					mc.WithEngineName(engine),
+				)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sc.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlanOverhead pins the per-cell scheduling cost of the sweep
+// substrate: 64 tiny cells (clique4, 2-round floodmax) so the scenario
+// runs are nearly free and the expansion + dispatch + record plumbing
+// dominates. "plan" is the new primary path; "sweep" is the legacy Grid
+// wrapper lowering onto it — the delta is the wrapper's own cost, and the
+// absolute numbers guard the per-cell overhead of the sweep machinery.
+func BenchmarkPlanOverhead(b *testing.B) {
+	const cells = 64
+	b.Run("plan", func(b *testing.B) {
+		plan := mc.Plan{
+			Axes: []mc.Axis{
+				mc.TopologyAxis("clique"),
+				mc.NAxis(4),
+				mc.RepsAxis(cells),
+			},
+			BaseSeed: 1,
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			recs, err := plan.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) != cells {
+				b.Fatalf("got %d records", len(recs))
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		grid := mc.Grid{Topologies: []string{"clique"}, Ns: []int{4}, Reps: cells, BaseSeed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			recs, err := mc.Sweep(grid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) != cells {
+				b.Fatalf("got %d records", len(recs))
+			}
+		}
+	})
 }
 
 func benchExperiment(b *testing.B, id string) {

@@ -5,9 +5,15 @@
 // perf trajectory of the simulator accumulates machine-readable snapshots
 // instead of living only in CHANGES.md prose.
 //
+// Compare mode diffs two snapshots instead of running anything: it prints
+// per-benchmark ns/op and B/op deltas for every name present in both files
+// and exits nonzero when any delta regresses past -threshold — the CI
+// regression gate between the fresh snapshot and the previous artifact.
+//
 // Usage:
 //
 //	benchsnap [-bench BenchmarkRun] [-benchtime 1x] [-count 1] [-pkg .] [-out BENCH_2026-07-26.json]
+//	benchsnap -compare old.json [-threshold 0.25] new.json
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -56,8 +63,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	count := fs.Int("count", 1, "value for -count; records average over runs")
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	compare := fs.String("compare", "", "baseline snapshot file: diff it against the snapshot given as the positional argument instead of benchmarking")
+	threshold := fs.Float64("threshold", 0.25, "compare: tolerated regression ratio for ns/op and B/op (0.25 = +25%)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *compare != "" {
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "benchsnap: -compare needs exactly one positional argument (the new snapshot file)")
+			return 2
+		}
+		return runCompare(*compare, fs.Arg(0), *threshold, stdout, stderr)
 	}
 	date := time.Now().Format("2006-01-02")
 	path := *out
@@ -103,6 +119,89 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stderr, "benchsnap: wrote %d records to %s\n", len(records), path)
+	return 0
+}
+
+// loadSnapshot reads a snapshot file written by benchsnap.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// delta returns the relative change from old to new (+0.25 = 25% worse for
+// cost metrics). A zero baseline growing to anything nonzero is +Inf — a
+// zero-alloc path gaining allocations is exactly the regression class the
+// gate exists for, and must never slip through as "+0%".
+func delta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (newV - oldV) / oldV
+}
+
+// runCompare diffs two snapshots benchmark-by-benchmark, printing ns/op and
+// B/op deltas for every name in both files, and exits 1 when any delta
+// exceeds the regression threshold. Benchmarks present in only one file are
+// listed but never gate.
+func runCompare(oldPath, newPath string, threshold float64, stdout, stderr io.Writer) int {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 2
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 2
+	}
+	oldBy := map[string]Record{}
+	for _, r := range oldSnap.Records {
+		oldBy[r.Name] = r
+	}
+	fmt.Fprintf(stdout, "comparing %s (%s) -> %s (%s), threshold +%.0f%%\n",
+		oldPath, oldSnap.Date, newPath, newSnap.Date, threshold*100)
+	var regressions []string
+	matched := map[string]bool{}
+	for _, nr := range newSnap.Records {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-60s new benchmark (%.0f ns/op, %.0f B/op)\n", nr.Name, nr.NsOp, nr.BOp)
+			continue
+		}
+		matched[nr.Name] = true
+		dNs, dB := delta(or.NsOp, nr.NsOp), delta(or.BOp, nr.BOp)
+		fmt.Fprintf(stdout, "%-60s ns/op %12.0f -> %12.0f (%+6.1f%%)   B/op %12.0f -> %12.0f (%+6.1f%%)\n",
+			nr.Name, or.NsOp, nr.NsOp, dNs*100, or.BOp, nr.BOp, dB*100)
+		if dNs > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %+.1f%%", nr.Name, dNs*100))
+		}
+		if dB > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s: B/op %+.1f%%", nr.Name, dB*100))
+		}
+	}
+	for _, or := range oldSnap.Records {
+		if !matched[or.Name] {
+			fmt.Fprintf(stdout, "%-60s removed (was %.0f ns/op)\n", or.Name, or.NsOp)
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(stderr, "benchsnap: %d regression(s) beyond +%.0f%%:\n", len(regressions), threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintln(stderr, " ", r)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "no regressions beyond +%.0f%%\n", threshold*100)
 	return 0
 }
 

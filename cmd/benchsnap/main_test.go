@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,5 +49,82 @@ func TestTrimGOMAXPROCS(t *testing.T) {
 		if got := trimGOMAXPROCS(in); got != want {
 			t.Fatalf("trimGOMAXPROCS(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func writeSnapshot(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	data, err := json.MarshalIndent(Snapshot{Date: "2026-01-01", Records: recs}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareMode: -compare prints per-benchmark ns/op and B/op deltas and
+// gates on the regression threshold — exit 0 within it, exit 1 beyond it,
+// with added/removed benchmarks reported but never gating.
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, []Record{
+		{Name: "BenchmarkRun/step/clique64", NsOp: 1000, BOp: 4000},
+		{Name: "BenchmarkRun/step/removed", NsOp: 10, BOp: 10},
+	})
+	writeSnapshot(t, newPath, []Record{
+		{Name: "BenchmarkRun/step/clique64", NsOp: 1100, BOp: 4100}, // +10% / +2.5%
+		{Name: "BenchmarkRun/step/added", NsOp: 5, BOp: 5},
+	})
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-compare", oldPath, "-threshold", "0.25", newPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("within-threshold compare exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"clique64", "+10.0%", "new benchmark", "removed", "no regressions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Tighten the threshold below the ns/op delta: the same diff must gate.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-compare", oldPath, "-threshold", "0.05", newPath}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("regression beyond threshold exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "regression") || !strings.Contains(errb.String(), "ns/op +10.0%") {
+		t.Fatalf("regression not reported: %s", errb.String())
+	}
+
+	// B/op regressions gate too.
+	writeSnapshot(t, newPath, []Record{{Name: "BenchmarkRun/step/clique64", NsOp: 1000, BOp: 8000}})
+	if code := run([]string{"-compare", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("B/op regression exited %d, want 1", code)
+	}
+
+	// A zero baseline growing to anything nonzero gates regardless of the
+	// threshold: a zero-alloc path gaining allocations must never pass as
+	// "+0%".
+	writeSnapshot(t, oldPath, []Record{{Name: "BenchmarkZeroAlloc", NsOp: 1000, BOp: 0}})
+	writeSnapshot(t, newPath, []Record{{Name: "BenchmarkZeroAlloc", NsOp: 1000, BOp: 64}})
+	errb.Reset()
+	if code := run([]string{"-compare", oldPath, "-threshold", "100", newPath}, &out, &errb); code != 1 {
+		t.Fatalf("0 -> 64 B/op regression exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "BenchmarkZeroAlloc") {
+		t.Fatalf("zero-baseline regression not reported: %s", errb.String())
+	}
+
+	// Usage errors: missing positional arg, unreadable files.
+	if code := run([]string{"-compare", oldPath}, &out, &errb); code != 2 {
+		t.Fatalf("missing positional arg exited %d, want 2", code)
+	}
+	if code := run([]string{"-compare", filepath.Join(dir, "nope.json"), newPath}, &out, &errb); code != 2 {
+		t.Fatalf("unreadable baseline exited %d, want 2", code)
 	}
 }

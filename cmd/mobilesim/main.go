@@ -12,13 +12,18 @@
 //	mobilesim -seed 7         # change the master seed
 //	mobilesim -engine goroutine  # pick the execution engine
 //
-// Sweep mode: -sweep expands a parameter grid (cross product of the axis
-// flags), fans the cells out across GOMAXPROCS workers with deterministic
-// per-cell seeds (each worker reusing one run context across its cells), and
-// emits one JSON record per line on stdout.
+// Sweep mode: -sweep builds an experiment Plan (cross product of the axis
+// flags — including the protocol registry axis via -proto), fans the cells
+// out across -workers workers with deterministic per-cell seeds (each worker
+// reusing one run context across its cells), and streams one JSON record per
+// line on stdout *as cells complete* (run -workers 1 for in-order output).
+// -summary replaces the per-cell stream with post-sweep aggregates: one JSON
+// line per cell group, with mean/stddev/min/max over the -reps repetitions.
 //
 //	mobilesim -sweep -topo clique,circulant -n 8,16,32 -adv none,flip -f 2
-//	mobilesim -sweep -n 64 -engine step,goroutine -reps 3 | jq .rounds
+//	mobilesim -sweep -proto bfs,mstclique -topo clique -n 16,32 -reps 3
+//	mobilesim -sweep -n 64 -engine step,goroutine -reps 5 -summary | jq .rounds.mean
+//	mobilesim -sweep -n 64 -workers 1 | jq .rounds
 //
 // Trace mode: -trace out.jsonl streams every simulated round as one JSON
 // line (delivered messages with base64 payloads, plus corrupted edges and a
@@ -31,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -63,10 +69,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	topo := fs.String("topo", "clique", "sweep: comma-separated topology names")
 	ns := fs.String("n", "16", "sweep: comma-separated node counts")
 	ks := fs.String("k", "0", "sweep: comma-separated topology parameters (0 = family default)")
+	proto := fs.String("proto", "", "sweep: comma-separated protocol registry names (empty = default floodmax workload)")
 	adv := fs.String("adv", "none", "sweep: comma-separated adversary names")
 	fstr := fs.String("f", "1", "sweep: comma-separated adversary strengths")
 	reps := fs.Int("reps", 1, "sweep: repetitions per cell with distinct seeds")
 	maxRounds := fs.Int("maxrounds", 0, "sweep: per-run round limit (0 = engine default)")
+	workers := fs.Int("workers", 0, "sweep: concurrent cell runners (0 = GOMAXPROCS; 1 streams in grid order)")
+	summary := fs.Bool("summary", false, "sweep: emit per-cell aggregates over reps instead of per-rep records")
 	tracePath := fs.String("trace", "", "stream per-round traffic as JSONL to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// in both). -list overrides both modes, so any combination with it just
 	// lists.
 	if !*list {
-		sweepOnly := map[string]bool{"topo": true, "n": true, "k": true, "adv": true, "f": true, "reps": true, "maxrounds": true}
+		sweepOnly := map[string]bool{"topo": true, "n": true, "k": true, "proto": true, "adv": true, "f": true, "reps": true, "maxrounds": true, "workers": true, "summary": true}
 		conflict := ""
 		fs.Visit(func(fl *flag.Flag) {
 			switch {
@@ -102,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "\nengines:     %s\n", strings.Join(mc.EngineNames(), ", "))
 		fmt.Fprintf(stdout, "topologies:  %s\n", strings.Join(mc.Topologies(), ", "))
+		fmt.Fprintf(stdout, "protocols:   %s\n", strings.Join(mc.Protocols(), ", "))
 		fmt.Fprintf(stdout, "adversaries: %s\n", strings.Join(mc.Adversaries(), ", "))
 		return 0
 	}
@@ -114,8 +124,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var code int
 	if *sweep {
 		code = runSweep(sweepFlags{
-			topos: *topo, ns: *ns, ks: *ks, advs: *adv, fs: *fstr,
+			topos: *topo, ns: *ns, ks: *ks, protos: *proto, advs: *adv, fs: *fstr,
 			engines: *engine, reps: *reps, baseSeed: *seed, maxRounds: *maxRounds,
+			workers: *workers, summary: *summary,
 		}, sink, stdout, stderr)
 	} else {
 		code = runExperiments(*only, *seed, *engine, sink, stdout, stderr)
@@ -254,56 +265,104 @@ func (s *traceSink) finish() error {
 }
 
 type sweepFlags struct {
-	topos, ns, ks, advs, fs, engines string
-	reps                             int
-	baseSeed                         int64
-	maxRounds                        int
+	topos, ns, ks, protos, advs, fs, engines string
+	reps                                     int
+	baseSeed                                 int64
+	maxRounds                                int
+	workers                                  int
+	summary                                  bool
 }
 
-func runSweep(sf sweepFlags, sink *traceSink, stdout, stderr io.Writer) int {
+// plan lowers the axis flags onto an experiment Plan, with the protocol
+// registry axis slotted between the topology and adversary coordinates
+// (the canonical label order).
+func (sf sweepFlags) plan(sink *traceSink) (mc.Plan, error) {
 	nsList, err1 := splitInts(sf.ns)
 	ksList, err2 := splitInts(sf.ks)
 	fsList, err3 := splitInts(sf.fs)
 	for _, err := range []error{err1, err2, err3} {
 		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
+			return mc.Plan{}, err
 		}
 	}
-	grid := mc.Grid{
-		Topologies:  splitNames(sf.topos),
-		Ns:          nsList,
-		Ks:          ksList,
-		Adversaries: splitNames(sf.advs),
-		Fs:          fsList,
-		Engines:     splitNames(sf.engines),
-		Reps:        sf.reps,
-		BaseSeed:    sf.baseSeed,
-		MaxRounds:   sf.maxRounds,
+	axes := []mc.Axis{
+		mc.TopologyAxis(splitNames(sf.topos)...),
+		mc.NAxis(nsList...),
+		mc.KAxis(ksList...),
+	}
+	if protos := splitNames(sf.protos); len(protos) > 0 {
+		axes = append(axes, mc.ProtocolAxis(protos...))
+	}
+	axes = append(axes,
+		mc.AdversaryAxis(splitNames(sf.advs)...),
+		mc.FAxis(fsList...),
+		mc.EngineAxis(splitNames(sf.engines)...),
+		mc.RepsAxis(sf.reps),
+	)
+	plan := mc.Plan{
+		Axes:      axes,
+		BaseSeed:  sf.baseSeed,
+		MaxRounds: sf.maxRounds,
+		Workers:   sf.workers,
 	}
 	if sink != nil {
-		grid.Observers = func(cellName string) []mc.Observer {
+		plan.Observers = func(cellName string) []mc.Observer {
 			return []mc.Observer{sink.observer(cellName)}
 		}
 	}
-	records, err := mc.Sweep(grid)
+	return plan, nil
+}
+
+// runSweep streams the plan's records as cells complete — one JSON line each
+// (grid order under -workers 1, completion order otherwise) — or, with
+// -summary, runs the plan to completion and emits one aggregate JSON line
+// per cell group, in the plan's cross-product order.
+func runSweep(sf sweepFlags, sink *traceSink, stdout, stderr io.Writer) int {
+	plan, err := sf.plan(sink)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	enc := json.NewEncoder(stdout)
-	failed := 0
-	for _, r := range records {
-		if r.Error != "" {
-			failed++
-		}
-		if err := enc.Encode(r); err != nil {
+	failed, total := 0, 0
+	if sf.summary {
+		// Plan.Run returns grid order regardless of worker scheduling, so
+		// the summaries come out in the axes' natural order.
+		records, err := plan.Run(context.Background())
+		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
+			return 2
+		}
+		total = len(records)
+		for _, r := range records {
+			if r.Error != "" {
+				failed++
+			}
+		}
+		for _, s := range mc.Summarize(records) {
+			if err := enc.Encode(s); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+	} else {
+		for r, err := range plan.Stream(context.Background()) {
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			total++
+			if r.Error != "" {
+				failed++
+			}
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(stderr, "%d/%d sweep cells failed\n", failed, len(records))
+		fmt.Fprintf(stderr, "%d/%d sweep cells failed\n", failed, total)
 		return 1
 	}
 	return 0

@@ -19,8 +19,8 @@ func runCapture(t *testing.T, args ...string) (string, string, int) {
 
 // TestListDeterministicAndSorted locks the -list contract: repeated
 // invocations emit byte-identical output, experiment IDs come out in sorted
-// order, and every registry listing (engines, topologies, adversaries) is
-// sorted — no map-iteration order may leak into the CLI.
+// order, and every registry listing (engines, topologies, protocols,
+// adversaries) is sorted — no map-iteration order may leak into the CLI.
 func TestListDeterministicAndSorted(t *testing.T) {
 	out1, _, code := runCapture(t, "-list")
 	if code != 0 {
@@ -31,10 +31,13 @@ func TestListDeterministicAndSorted(t *testing.T) {
 		t.Fatalf("-list output not deterministic:\n%s\n---\n%s", out1, out2)
 	}
 
+	listings := map[string]bool{}
 	var expIDs []string
 	for _, line := range strings.Split(out1, "\n") {
 		switch {
-		case strings.HasPrefix(line, "engines:"), strings.HasPrefix(line, "topologies:"), strings.HasPrefix(line, "adversaries:"):
+		case strings.HasPrefix(line, "engines:"), strings.HasPrefix(line, "topologies:"),
+			strings.HasPrefix(line, "protocols:"), strings.HasPrefix(line, "adversaries:"):
+			listings[strings.SplitN(line, ":", 2)[0]] = true
 			_, list, _ := strings.Cut(line, ":")
 			names := strings.Split(strings.TrimSpace(list), ", ")
 			if len(names) == 0 {
@@ -52,6 +55,12 @@ func TestListDeterministicAndSorted(t *testing.T) {
 	}
 	if !sort.StringsAreSorted(expIDs) {
 		t.Fatalf("experiment IDs not sorted: %v", expIDs)
+	}
+	if len(listings) != 4 {
+		t.Fatalf("want 4 registry listings (engines, topologies, protocols, adversaries), got %v", listings)
+	}
+	if !strings.Contains(out1, "protocols:") || !strings.Contains(out1, "mstclique") {
+		t.Fatalf("protocol registry missing from -list:\n%s", out1)
 	}
 }
 
@@ -118,6 +127,108 @@ func TestSweepTraceJSONL(t *testing.T) {
 	}
 	if len(doneCells) != 2 {
 		t.Fatalf("want 2 cell summaries, got %v", doneCells)
+	}
+}
+
+// TestSweepProtocolAxis: -proto runs a protocol-registry axis end-to-end by
+// name, stamping the protocol coordinate into every record, and -workers 1
+// streams the records in deterministic grid order.
+func TestSweepProtocolAxis(t *testing.T) {
+	out, errb, code := runCapture(t,
+		"-sweep", "-topo", "clique", "-n", "8", "-proto", "bfs,mstclique",
+		"-reps", "2", "-workers", "1", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("sweep exited %d: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 records (2 protocols x 2 reps), got %d", len(lines))
+	}
+	wantProtos := []string{"bfs", "bfs", "mstclique", "mstclique"}
+	for i, line := range lines {
+		var rec struct {
+			Protocol string `json:"protocol"`
+			Rounds   int    `json:"rounds"`
+			Error    string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record not JSON: %v\n%s", err, line)
+		}
+		if rec.Error != "" {
+			t.Fatalf("cell failed: %s", rec.Error)
+		}
+		if rec.Protocol != wantProtos[i] {
+			t.Fatalf("record %d protocol = %q, want %q (workers=1 must stream in grid order)", i, rec.Protocol, wantProtos[i])
+		}
+		if rec.Rounds <= 0 {
+			t.Fatalf("record %d has no rounds: %s", i, line)
+		}
+	}
+	// Streamed output is deterministic under -workers 1.
+	out2, _, _ := runCapture(t,
+		"-sweep", "-topo", "clique", "-n", "8", "-proto", "bfs,mstclique",
+		"-reps", "2", "-workers", "1", "-seed", "5")
+	stripElapsed := func(s string) string {
+		var b strings.Builder
+		for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+			var m map[string]any
+			if err := json.Unmarshal([]byte(line), &m); err != nil {
+				t.Fatal(err)
+			}
+			delete(m, "elapsed_ms")
+			enc, _ := json.Marshal(m)
+			b.Write(enc)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	if stripElapsed(out) != stripElapsed(out2) {
+		t.Fatalf("-workers 1 streaming not deterministic:\n%s\n---\n%s", out, out2)
+	}
+	// Unknown protocol names are rejected up front.
+	if _, errb, code := runCapture(t, "-sweep", "-proto", "nosuch"); code != 2 || !strings.Contains(errb, "unknown protocol") {
+		t.Fatalf("unknown -proto: code %d, msg %q", code, errb)
+	}
+}
+
+// TestSweepSummary: -summary replaces per-rep records with one aggregate
+// JSON line per cell group, emitted in the plan's grid order (cycle before
+// clique here — axis value order, not lexicographic).
+func TestSweepSummary(t *testing.T) {
+	out, errb, code := runCapture(t,
+		"-sweep", "-topo", "cycle,clique", "-n", "8", "-reps", "3", "-summary", "-seed", "4")
+	if code != 0 {
+		t.Fatalf("sweep exited %d: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 summary lines (one per topology), got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], `"topology":"cycle"`) || !strings.Contains(lines[1], `"topology":"clique"`) {
+		t.Fatalf("summaries not in grid order:\n%s", out)
+	}
+	for _, line := range lines {
+		var s struct {
+			Name   string `json:"name"`
+			Reps   int    `json:"reps"`
+			Rounds struct {
+				Mean float64 `json:"mean"`
+				Min  float64 `json:"min"`
+				Max  float64 `json:"max"`
+			} `json:"rounds"`
+		}
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("summary not JSON: %v\n%s", err, line)
+		}
+		if s.Reps != 3 {
+			t.Fatalf("summary %s aggregated %d reps, want 3", s.Name, s.Reps)
+		}
+		if s.Rounds.Mean < s.Rounds.Min || s.Rounds.Mean > s.Rounds.Max || s.Rounds.Mean <= 0 {
+			t.Fatalf("summary %s has inconsistent rounds aggregate: %s", s.Name, line)
+		}
+		if strings.Contains(s.Name, "rep=") {
+			t.Fatalf("summary name still carries a rep suffix: %s", s.Name)
+		}
 	}
 }
 

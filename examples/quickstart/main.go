@@ -29,7 +29,7 @@ func run() error {
 	// 1. Security: one-time-pad the broadcast with extracted keys so an
 	//    f-mobile eavesdropper learns nothing (Theorem 1.2).
 	payload := algorithms.Broadcast(0, 0xC0FFEE, r)
-	t := 2 * 2 * r // t >= 2fr keeps f' = f = 2
+	t := secure.SlackFor(r, 2) // t >= 2fr keeps f' = f = 2
 	eve := mobilecongest.NewMobileEavesdropper(g, 2, 1)
 	res, err := mobilecongest.NewScenario(
 		mobilecongest.WithGraph(g),

@@ -12,9 +12,28 @@
 package algorithms
 
 import (
+	"math/rand"
+
 	"mobilecongest/internal/congest"
 	"mobilecongest/internal/graph"
 )
+
+// SumInputs generates canonical SumToRoot inputs: node u holds one 8-byte
+// uint64 in [1, 1000] drawn deterministically from seed. The second return
+// value is the global sum — the protocol's expected output at every node —
+// so callers (the protocol registry, tests) can verify end-to-end
+// correctness without re-decoding the inputs.
+func SumInputs(n int, seed int64) ([][]byte, uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([][]byte, n)
+	var total uint64
+	for u := 0; u < n; u++ {
+		v := 1 + uint64(rng.Intn(1000))
+		total += v
+		inputs[u] = congest.PutU64(nil, v)
+	}
+	return inputs, total
+}
 
 // FloodMax floods the maximum node ID for the given number of rounds; with
 // rounds >= diameter every node outputs n-1. This is the leader-election

@@ -81,9 +81,14 @@ type WrappedRuntime struct {
 	// Shared() — compilers use it to pass the payload's own preprocessing
 	// artifact through while keeping their own in the base runtime.
 	ShadowShared any
-	rounds       int
-	outBuf       []Msg
-	inBuf        []Msg
+	// InputFn, when non-nil, overrides what the wrapped protocol sees from
+	// Input() — the input-side sibling of ShadowShared, used by wrappers
+	// that carry their own canonical per-node inputs (the root package's
+	// protocol registry entries).
+	InputFn func() []byte
+	rounds  int
+	outBuf  []Msg
+	inBuf   []Msg
 }
 
 var _ PortRuntime = (*WrappedRuntime)(nil)
@@ -100,8 +105,13 @@ func (w *WrappedRuntime) Neighbors() []graph.NodeID { return w.Base.Neighbors() 
 // Rand forwards to the base runtime.
 func (w *WrappedRuntime) Rand() *rand.Rand { return w.Base.Rand() }
 
-// Input forwards to the base runtime.
-func (w *WrappedRuntime) Input() []byte { return w.Base.Input() }
+// Input returns InputFn's value when set, else forwards to the base runtime.
+func (w *WrappedRuntime) Input() []byte {
+	if w.InputFn != nil {
+		return w.InputFn()
+	}
+	return w.Base.Input()
+}
 
 // SetOutput forwards to the base runtime.
 func (w *WrappedRuntime) SetOutput(v any) { w.Base.SetOutput(v) }

@@ -8,6 +8,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node; IDs are 0..N-1 and double as the KT1 identifiers
@@ -52,14 +53,27 @@ type Graph struct {
 	adj     [][]NodeID
 	edges   []Edge
 	edgeIdx map[Edge]int
+
+	// Metric memoization: Diameter and Eccentricity are O(n*m) BFS scans
+	// that hot paths ask for repeatedly on shared, effectively-immutable
+	// graphs (registry protocol builds recompute them on every Run of every
+	// sweep cell). Guarded by mu — graphs are shared across sweep workers —
+	// and invalidated by AddEdge.
+	mu       sync.Mutex
+	diameter int // memoized Diameter; metricUncached = not yet computed
+	ecc      map[NodeID]int
 }
+
+// metricUncached marks a not-yet-memoized metric (valid values are >= -1).
+const metricUncached = -2
 
 // New returns an empty graph with n nodes.
 func New(n int) *Graph {
 	return &Graph{
-		n:       n,
-		adj:     make([][]NodeID, n),
-		edgeIdx: make(map[Edge]int),
+		n:        n,
+		adj:      make([][]NodeID, n),
+		edgeIdx:  make(map[Edge]int),
+		diameter: metricUncached,
 	}
 }
 
@@ -110,6 +124,10 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 	g.edges = append(g.edges, e)
 	g.adj[u] = insertSorted(g.adj[u], v)
 	g.adj[v] = insertSorted(g.adj[v], u)
+	g.mu.Lock()
+	g.diameter = metricUncached
+	g.ecc = nil
+	g.mu.Unlock()
 	return nil
 }
 
@@ -170,36 +188,58 @@ func (g *Graph) IsConnected() bool {
 }
 
 // Diameter returns the exact diameter via all-pairs BFS, or -1 if
-// disconnected.
+// disconnected. The result is memoized (and safe to ask for concurrently):
+// the first call on a graph pays the O(n*m) scan, repeats are a lock and a
+// load.
 func (g *Graph) Diameter() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.diameter != metricUncached {
+		return g.diameter
+	}
 	diam := 0
 	for u := 0; u < g.n; u++ {
 		dist, _ := g.BFS(NodeID(u))
 		for _, d := range dist {
 			if d < 0 {
-				return -1
+				diam = -1
+				break
 			}
 			if d > diam {
 				diam = d
 			}
 		}
+		if diam < 0 {
+			break
+		}
 	}
+	g.diameter = diam
 	return diam
 }
 
 // Eccentricity returns max distance from u, or -1 if some node is
-// unreachable.
+// unreachable. Memoized per node, like Diameter.
 func (g *Graph) Eccentricity(u NodeID) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e, ok := g.ecc[u]; ok {
+		return e
+	}
 	dist, _ := g.BFS(u)
 	ecc := 0
 	for _, d := range dist {
 		if d < 0 {
-			return -1
+			ecc = -1
+			break
 		}
 		if d > ecc {
 			ecc = d
 		}
 	}
+	if g.ecc == nil {
+		g.ecc = make(map[NodeID]int)
+	}
+	g.ecc[u] = ecc
 	return ecc
 }
 

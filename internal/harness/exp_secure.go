@@ -37,7 +37,7 @@ func runT1(seed int64) (*Table, error) {
 	g := graph.Grid(3, 4)
 	r := g.Diameter()
 	f := 2
-	for _, t := range []int{1, r, 2 * f * r, 4 * f * r} {
+	for _, t := range []int{1, r, secure.SlackFor(r, f), 2 * secure.SlackFor(r, f)} {
 		rp, fp := secure.MobileParams(r, t, f)
 		res, err := runScenario(secure.StaticToMobile(algorithms.Broadcast(0, 31337, r), r, t),
 			mc.WithGraph(g), mc.WithSeed(seed))
@@ -53,7 +53,7 @@ func runT1(seed int64) (*Table, error) {
 		if !correct || res.Stats.Rounds != rp {
 			tb.Pass = false
 		}
-		if t >= 2*f*r && fp < f {
+		if t >= secure.SlackFor(r, f) && fp < f {
 			tb.Pass = false
 			tb.Notes = append(tb.Notes, fmt.Sprintf("t=%d >= 2fr but f'=%d < f=%d", t, fp, f))
 		}

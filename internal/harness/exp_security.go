@@ -32,7 +32,7 @@ func runT11(seed int64) (*Table, error) {
 	}
 	g := graph.Petersen()
 	r := g.Diameter() + 1
-	tSlack := 2 * 2 * r
+	tSlack := secure.SlackFor(r, 2) // f = 2 eavesdropper below
 	inputs := [2]uint64{0x0101010101010101, 0xFEFEFEFEFEFEFEFE}
 	const trials = 60
 

@@ -18,6 +18,15 @@ func CliqueShared(n int) *Shared {
 	return NewShared(graph.Clique(n), treepack.CliqueStars(n))
 }
 
+// HardenedClique compiles a congested-clique payload against an f-mobile
+// byzantine adversary (Theorem 1.6) and returns the compiled protocol
+// together with its trusted preprocessing artifact, at the harness's
+// standard repetition factor. This is the registry-adapter form: one call
+// yields both halves the root protocol registry hands to a Scenario.
+func HardenedClique(payload congest.Protocol, n, f int) (congest.Protocol, *Shared) {
+	return Compile(payload, Config{Mode: SparseMode, F: f, Rep: 5}), CliqueShared(n)
+}
+
 // GeneralShared builds the Corollary 3.9 preprocessing for a
 // (k, D_TP)-connected graph: a greedy low-depth packing computed in a
 // trusted (fault-free) preprocessing phase, as the corollary permits.

@@ -39,6 +39,13 @@ func MobileParams(r, t, f int) (rPrime, fPrime int) {
 	return 2*r + t, fPrime
 }
 
+// SlackFor returns the canonical key-phase slack t = 2fr for compiling an
+// r-round payload against an f-mobile eavesdropper: the smallest choice of
+// the Theorem 1.2 proof's t >= 2fr regime, which keeps the compiled mobile
+// budget at f' = f (see MobileParams). The harness, the examples, and the
+// root protocol registry all pick their slack through this one function.
+func SlackFor(r, f int) int { return 2 * f * r }
+
 // KeyPool is one edge-direction's Phase-2 key material: r words of 8 bytes.
 type KeyPool struct {
 	keys [][wordSymbols]gf.Elem

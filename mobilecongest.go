@@ -48,22 +48,32 @@
 // worker, reuse a RunContext that amortizes the run's layout, buffers, and
 // RNG state across runs.
 //
-// Parameter sweeps fan a Grid of scenarios out across GOMAXPROCS workers with
-// deterministic per-cell seeds and return JSON-serializable Records:
+// Parameter studies are experiment Plans: an ordered list of Axis values
+// (topology, n, k, protocol, adversary, f, engine, reps, plus user-defined
+// axes via VaryFunc) whose cross product runs with deterministic per-cell
+// seeds, streamed as cells finish or collected in grid order, and
+// aggregated over repetitions with Summarize:
 //
-//	recs, err := mobilecongest.Sweep(mobilecongest.Grid{
-//		Topologies:  []string{"clique", "circulant"},
-//		Ns:          []int{16, 32, 64},
-//		Adversaries: []string{"none", "flip"},
-//		Fs:          []int{2},
-//	})
+//	plan := mobilecongest.Plan{Axes: []mobilecongest.Axis{
+//		mobilecongest.TopologyAxis("clique", "circulant"),
+//		mobilecongest.NAxis(16, 32, 64),
+//		mobilecongest.ProtocolAxis("bfs", "secure-broadcast"),
+//		mobilecongest.AdversaryAxis("none", "flip"),
+//		mobilecongest.FAxis(2),
+//		mobilecongest.RepsAxis(3),
+//	}}
+//	for rec, err := range plan.Stream(ctx) { ... }
 //
-// Topology and adversary families are name-keyed registries (see
-// RegisterTopology / RegisterAdversary) so new families plug into scenarios,
-// sweeps, and the mobilesim CLI without touching this package. The legacy
-// Run(RunConfig, proto) form remains as a deprecated thin wrapper; the full
-// low-level API lives in the internal packages listed above (importable
-// inside this module).
+// Topology, adversary, AND protocol families are name-keyed registries (see
+// RegisterTopology / RegisterAdversary / RegisterProtocol) so new families
+// plug into scenarios, plans, and the mobilesim CLI without touching this
+// package; a registered ProtocolFunc may return a trusted preprocessing
+// artifact, which is how the paper's compilers (secure-broadcast,
+// hardened-clique) are registered next to their payloads. The legacy
+// Sweep(Grid) surface survives as a compat wrapper lowering onto a Plan
+// (byte-identical records), and the legacy Run(RunConfig, proto) form
+// remains as a deprecated thin wrapper; the full low-level API lives in the
+// internal packages listed above (importable inside this module).
 package mobilecongest
 
 import (

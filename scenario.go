@@ -31,6 +31,10 @@ func EngineNames() []string { return congest.EngineNames() }
 // randomness derived from the same scenario seed.
 const advSeedMix = 0x6d6f62696c65 // "mobile"
 
+// protoSeedMix likewise decorrelates registry-built protocol inputs (edge
+// weights, payload values) from both the node and the adversary randomness.
+const protoSeedMix = 0x70726f746f // "proto"
+
 // Scenario is one fully-described simulation: topology, protocol, adversary,
 // engine, and run parameters. Build it with NewScenario and functional
 // options; zero-value defaults are fault-free, seed 0, the step engine, and
@@ -41,7 +45,8 @@ const advSeedMix = 0x6d6f62696c65 // "mobile"
 // Repeated Run calls on one Scenario reuse a congest.RunContext, amortizing
 // the per-run state (edge layout, round buffers, node cores, RNGs) across
 // runs; a Scenario is therefore not safe for concurrent Run calls (it never
-// was — the topology cache already mutated the value).
+// was — the topology cache already mutated the value). To fan one scenario
+// out across goroutines, give each its own Clone.
 type Scenario struct {
 	name      string
 	g         *Graph
@@ -49,6 +54,8 @@ type Scenario struct {
 	topoN     int
 	topoK     int
 	proto     Protocol
+	protoName string
+	protoP    int
 	adv       Adversary
 	advName   string
 	advF      int
@@ -105,9 +112,31 @@ func WithTopology(name string, n, k int) ScenarioOption {
 	}
 }
 
-// WithProtocol sets the per-node protocol.
+// WithProtocol sets the per-node protocol directly, displacing any earlier
+// WithProtocolName.
 func WithProtocol(p Protocol) ScenarioOption {
-	return func(s *Scenario) { s.proto = p }
+	return func(s *Scenario) { s.proto = p; s.protoName = "" }
+}
+
+// WithProtocolName sets the protocol by registry name, displacing any
+// earlier WithProtocol. The protocol is built at Run time against the
+// resolved graph with ProtoParams derived canonically from the scenario:
+// Seed is the scenario seed (decorrelated by a fixed mix), F is the f of
+// WithAdversaryName (1 otherwise), Rounds is WithProtocolParam's value, and
+// Root is node 0. A shared artifact returned by the registry entry (the
+// compiled protocols) is installed unless WithShared set one explicitly.
+// Registry protocols that need per-node inputs (mstclique, sumtoroot,
+// secure-broadcast) generate their own canonical inputs from the seed;
+// WithInputs does not reach them.
+func WithProtocolName(name string) ScenarioOption {
+	return func(s *Scenario) { s.protoName = name; s.proto = nil }
+}
+
+// WithProtocolParam sets the registered protocol's schedule parameter
+// (rounds, radius, or iterations — family-dependent; 0 keeps the family
+// default). It only affects protocols configured with WithProtocolName.
+func WithProtocolParam(p int) ScenarioOption {
+	return func(s *Scenario) { s.protoP = p }
 }
 
 // WithAdversary sets the adversary instance; nil means fault-free.
@@ -200,6 +229,26 @@ func (s *Scenario) Engine() Engine {
 	return s.engine
 }
 
+// Clone returns an independent copy of the scenario for concurrent use: the
+// clone shares the immutable configuration (graph, options, inputs) but gets
+// its own RunContext, so parallel goroutines can each Run their own clone of
+// one scenario — the concurrent-reuse pattern a single Scenario value cannot
+// support (see the type doc). Per-run state configured by *instance* rather
+// than by name is still shared: a WithAdversary instance and WithObserver
+// observers are not cloned, so scenarios meant for fan-out should configure
+// the adversary with WithAdversaryName (built fresh per run) and attach
+// observers per clone. If the topology was configured by name and not yet
+// resolved, each clone builds its own (identical) graph; call Graph() once
+// before cloning to share one instance.
+func (s *Scenario) Clone() *Scenario {
+	c := *s
+	c.runCtx = nil
+	// Snapshot the observer list so a later WithObserver-style append on one
+	// copy can never alias the other's backing array.
+	c.observers = append([]Observer(nil), s.observers...)
+	return &c
+}
+
 // Run resolves the scenario and executes it.
 func (s *Scenario) Run() (*Result, error) {
 	if s.runCtx == nil {
@@ -215,12 +264,31 @@ func (s *Scenario) runIn(rc *congest.RunContext) (*Result, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	if s.proto == nil {
-		return nil, errors.New("mobilecongest: scenario has no protocol (use WithProtocol)")
+	if s.proto == nil && s.protoName == "" {
+		return nil, errors.New("mobilecongest: scenario has no protocol (use WithProtocol or WithProtocolName)")
 	}
 	g, err := s.Graph()
 	if err != nil {
 		return nil, err
+	}
+	proto, shared := s.proto, s.shared
+	if proto == nil {
+		f := s.advF
+		if f < 1 {
+			f = 1
+		}
+		p, sh, err := BuildProtocol(s.protoName, g, ProtoParams{
+			Rounds: s.protoP,
+			Seed:   s.seed ^ protoSeedMix,
+			F:      f,
+		})
+		if err != nil {
+			return nil, err
+		}
+		proto = p
+		if shared == nil {
+			shared = sh
+		}
 	}
 	adv := s.adv
 	if adv == nil && s.advName != "" {
@@ -235,17 +303,17 @@ func (s *Scenario) runIn(rc *congest.RunContext) (*Result, error) {
 		MaxRounds: s.maxRounds,
 		Adversary: adv,
 		Inputs:    s.inputs,
-		Shared:    s.shared,
+		Shared:    shared,
 		Observers: s.observers,
 	}
 	var res *Result
 	var runErr error
 	if cr, ok := s.Engine().(congest.ContextRunner); ok {
-		res, runErr = cr.RunIn(rc, cfg, s.proto)
+		res, runErr = cr.RunIn(rc, cfg, proto)
 	} else {
 		// Externally registered engines may predate RunContext; they still
 		// work, just without cross-run reuse.
-		res, runErr = s.Engine().Run(cfg, s.proto)
+		res, runErr = s.Engine().Run(cfg, proto)
 	}
 	if runErr != nil && s.name != "" {
 		return nil, fmt.Errorf("scenario %s: %w", s.name, runErr)

@@ -3,6 +3,7 @@ package mobilecongest
 import (
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"mobilecongest/internal/algorithms"
@@ -113,6 +114,64 @@ func TestScenarioReusedAdversaryInstanceDeterministic(t *testing.T) {
 		if r.Stats != r1.Stats || !reflect.DeepEqual(r.Outputs, r1.Outputs) {
 			t.Fatalf("re-run %d with a reused adversary instance diverged:\n first %+v\n rerun %+v", rep, r1.Stats, r.Stats)
 		}
+	}
+}
+
+// TestScenarioCloneConcurrent is the concurrent-reuse contract of Clone:
+// one scenario fanned out across goroutines as clones (each with its own
+// RunContext) runs race-free — this test is meaningful under -race, which CI
+// runs — and every clone reproduces the original's result exactly. The
+// adversary is configured by registry name, so each run builds a fresh
+// instance; that is the documented pattern for fan-out.
+func TestScenarioCloneConcurrent(t *testing.T) {
+	base := NewScenario(
+		WithTopology("circulant", 16, 2),
+		WithProtocolName("broadcast"),
+		WithAdversaryName("flip", 2),
+		WithSeed(19),
+	)
+	// Resolve the topology once so the clones share one graph instance.
+	if _, err := base.Graph(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Clone().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const parallel = 8
+	results := make([]*Result, parallel)
+	errs := make([]error, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		c := base.Clone()
+		go func() {
+			defer wg.Done()
+			// Two runs per clone: the clone's own RunContext reuse must stay
+			// private to its goroutine.
+			if _, err := c.Run(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = c.Run()
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < parallel; i++ {
+		if errs[i] != nil {
+			t.Fatalf("clone %d: %v", i, errs[i])
+		}
+		if results[i].Stats != want.Stats || !reflect.DeepEqual(results[i].Outputs, want.Outputs) {
+			t.Fatalf("clone %d diverged:\n want %+v\n got  %+v", i, want.Stats, results[i].Stats)
+		}
+	}
+	// The original value is untouched and still runnable.
+	got, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("original scenario diverged after clones ran: %+v vs %+v", got.Stats, want.Stats)
 	}
 }
 

@@ -1,26 +1,25 @@
 package mobilecongest
 
 import (
-	"fmt"
+	"context"
 	"hash/fnv"
-	"runtime"
-	"sync"
-	"time"
-
-	"mobilecongest/internal/algorithms"
-	"mobilecongest/internal/congest"
 )
 
 // Record is the JSON-serializable outcome of one sweep cell: the cell's
 // coordinates in the grid plus the run's statistics. Failed cells carry the
 // error instead of aborting the whole sweep. K is the requested topology
 // parameter as passed to the registry — 0 means the family's default (e.g.
-// chord distance 2 for circulants), which the builder resolves internally.
+// chord distance 2 for circulants), which the builder resolves internally;
+// P is likewise the requested protocol parameter (0 = family default).
+// Protocol is the protocol registry name of the cell's workload, empty for
+// the default workload and for Grid sweeps with a Protocol closure.
 type Record struct {
 	Name                string  `json:"name"`
 	Topology            string  `json:"topology"`
 	N                   int     `json:"n"`
 	K                   int     `json:"k"`
+	Protocol            string  `json:"protocol,omitempty"`
+	P                   int     `json:"p,omitempty"`
 	Adversary           string  `json:"adversary"`
 	F                   int     `json:"f"`
 	Engine              string  `json:"engine"`
@@ -35,13 +34,20 @@ type Record struct {
 	ElapsedMS           float64 `json:"elapsed_ms"`
 	Error               string  `json:"error,omitempty"`
 	// Trace is the cell's full per-round delivered-traffic trace, captured
-	// only when Grid.CaptureTrace is set (payloads base64 in JSON).
+	// only when the plan (or Grid) captures traces (payloads base64 in
+	// JSON).
 	Trace []RoundTrace `json:"trace,omitempty"`
 }
 
-// Grid is a parameter grid: the cross product of its axes defines one
-// scenario per cell. Empty axes default to a single sensible value, so a
-// zero-ish Grid still sweeps something.
+// Grid is the legacy fixed-axis parameter grid: the cross product of its
+// six hardcoded axes defines one scenario per cell. Empty axes default to a
+// single sensible value, so a zero-ish Grid still sweeps something.
+//
+// Grid survives as a compat wrapper: Sweep lowers it onto a Plan whose axes
+// are the grid's, in the grid's canonical order, producing byte-identical
+// records to the pre-Plan implementation (same labels, seeds, and cell
+// order). New code should build a Plan directly — it adds the protocol
+// axis, user-defined axes, streaming, cancellation, and worker control.
 type Grid struct {
 	// Topologies are registry names (default ["clique"]).
 	Topologies []string
@@ -86,177 +92,57 @@ func defaulted[T any](s []T, def ...T) []T {
 	return s
 }
 
-// CellSeed derives the deterministic seed for a grid cell: a hash of the
-// cell's label mixed with the base seed and repetition index. It depends only
-// on the cell's coordinates, never on grid order or worker scheduling, so
-// reshaping a sweep does not reshuffle the randomness of surviving cells.
+// CellSeed derives the deterministic seed for a plan (or grid) cell: a hash
+// of the cell's seed-relevant label mixed with the base seed and repetition
+// index. It depends only on the cell's coordinates, never on plan order or
+// worker scheduling, so reshaping a sweep does not reshuffle the randomness
+// of surviving cells; axes a plan does not use contribute nothing to the
+// label, so extending the axis vocabulary (e.g. the protocol axis) leaves
+// every pre-existing cell's seed intact.
 func CellSeed(base int64, label string, rep int) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(label))
 	return int64(uint64(base) ^ h.Sum64() ^ (uint64(rep) * 0x9e3779b97f4a7c15))
 }
 
-// cell is one expanded grid point.
-type cell struct {
-	rec      Record
-	scenario *Scenario
-	trace    *TraceObserver // non-nil when the grid captures traces
-}
-
-// cells expands the grid, validating every registry name up front.
-func (gr Grid) cells() ([]cell, error) {
-	topos := defaulted(gr.Topologies, "clique")
-	ns := defaulted(gr.Ns, 16)
-	ks := defaulted(gr.Ks, 0)
-	advs := defaulted(gr.Adversaries, "none")
-	fs := defaulted(gr.Fs, 1)
-	engines := defaulted(gr.Engines, EngineStep.Name())
+// plan lowers the grid onto the equivalent Plan: the six fixed axes in the
+// grid's canonical order (topology, n, k, adversary, f, engine, reps), which
+// reproduces the pre-Plan labels — "topo=T,n=N,k=K,adv=A,f=F,engine=E" —
+// and therefore the exact per-cell seeds, names, and record order.
+func (gr Grid) plan() Plan {
 	reps := gr.Reps
 	if reps <= 0 {
 		reps = 1
 	}
-
-	// Validate every registry name once, up front, so a bad grid fails before
-	// any cell is built.
-	for _, advName := range advs {
-		if !HasAdversary(advName) {
-			return nil, fmt.Errorf("mobilecongest: unknown adversary %q (have %v)", advName, Adversaries())
-		}
+	return Plan{
+		Axes: []Axis{
+			TopologyAxis(defaulted(gr.Topologies, "clique")...),
+			NAxis(defaulted(gr.Ns, 16)...),
+			KAxis(defaulted(gr.Ks, 0)...),
+			AdversaryAxis(defaulted(gr.Adversaries, "none")...),
+			FAxis(defaulted(gr.Fs, 1)...),
+			EngineAxis(defaulted(gr.Engines, EngineStep.Name())...),
+			RepsAxis(reps),
+		},
+		BaseSeed:        gr.BaseSeed,
+		MaxRounds:       gr.MaxRounds,
+		CaptureTrace:    gr.CaptureTrace,
+		Observers:       gr.Observers,
+		DefaultProtocol: gr.Protocol,
 	}
-	for _, engName := range engines {
-		if _, err := NewEngine(engName); err != nil {
-			return nil, err
-		}
-	}
-
-	var out []cell
-	for _, topo := range topos {
-		for _, n := range ns {
-			for _, k := range ks {
-				g, err := BuildTopology(topo, n, k)
-				if err != nil {
-					return nil, err
-				}
-				// protoForCell is invoked once per cell so closure-captured
-				// state stays cell-private; the default workload hoists its
-				// all-pairs-BFS diameter computation to once per graph.
-				protoForCell := func() Protocol { return gr.Protocol(g) }
-				if gr.Protocol == nil {
-					rounds := g.Diameter() + 1
-					protoForCell = func() Protocol { return algorithms.FloodMax(rounds) }
-				}
-				for _, advName := range advs {
-					for _, f := range fs {
-						for _, engName := range engines {
-							for rep := 0; rep < reps; rep++ {
-								// The engine is an execution detail: it is
-								// part of the record, but deliberately NOT of
-								// the seed derivation, so the same simulation
-								// cell gets the same randomness on every
-								// engine.
-								simLabel := fmt.Sprintf("topo=%s,n=%d,k=%d,adv=%s,f=%d",
-									topo, n, k, advName, f)
-								label := fmt.Sprintf("%s,engine=%s", simLabel, engName)
-								seed := CellSeed(gr.BaseSeed, simLabel, rep)
-								name := fmt.Sprintf("%s,rep=%d", label, rep)
-								// Observers are per-run state, so every cell
-								// gets its own instances.
-								var obs []Observer
-								if gr.Observers != nil {
-									obs = gr.Observers(name)
-								}
-								var tr *TraceObserver
-								if gr.CaptureTrace {
-									tr = NewTraceObserver()
-									obs = append(obs, tr)
-								}
-								out = append(out, cell{
-									rec: Record{
-										Name:      name,
-										Topology:  topo,
-										N:         n,
-										K:         k,
-										Adversary: advName,
-										F:         f,
-										Engine:    engName,
-										Rep:       rep,
-										Seed:      seed,
-									},
-									scenario: NewScenario(
-										WithName(label),
-										WithGraph(g),
-										WithProtocol(protoForCell()),
-										WithAdversaryName(advName, f),
-										WithEngineName(engName),
-										WithSeed(seed),
-										WithMaxRounds(gr.MaxRounds),
-										WithObserver(obs...),
-									),
-									trace: tr,
-								})
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return out, nil
 }
 
 // Sweep expands the grid and runs every cell, fanning the work out across
-// GOMAXPROCS workers. Every worker owns one reusable congest.RunContext, so
-// consecutive cells on the same topology share the run's layout, buffers,
-// and RNG allocations instead of rebuilding them per cell. The full record
-// set is returned once the sweep completes, in grid order regardless of
-// worker scheduling; per-cell failures are recorded rather than fatal, and
-// only grid configuration errors (unknown registry names, unbuildable
-// topologies) return an error.
+// GOMAXPROCS workers (each reusing one congest.RunContext across its cells).
+// The full record set is returned once the sweep completes, in grid order
+// regardless of worker scheduling; per-cell failures are recorded rather
+// than fatal, and only grid configuration errors (unknown registry names,
+// unbuildable topologies) return an error.
+//
+// Sweep is the compat wrapper over the Plan API: it lowers the Grid onto the
+// equivalent Plan and Runs it, byte-identically to the pre-Plan
+// implementation. Use a Plan directly for streaming results, cancellation,
+// protocol and user-defined axes, and worker control.
 func Sweep(grid Grid) ([]Record, error) {
-	cells, err := grid.cells()
-	if err != nil {
-		return nil, err
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rc := congest.NewRunContext()
-			for i := range jobs {
-				c := &cells[i]
-				start := time.Now()
-				res, err := c.scenario.runIn(rc)
-				c.rec.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-				if err != nil {
-					c.rec.Error = err.Error()
-					continue
-				}
-				c.rec.Rounds = res.Stats.Rounds
-				c.rec.Messages = res.Stats.Messages
-				c.rec.Bytes = res.Stats.Bytes
-				c.rec.MaxMsgBytes = res.Stats.MaxMsgBytes
-				c.rec.MaxEdgeCongestion = res.Stats.MaxEdgeCongestion
-				c.rec.CorruptedEdgeRounds = res.Stats.CorruptedEdgeRounds
-				if c.trace != nil {
-					c.rec.Trace = c.trace.Rounds()
-				}
-			}
-		}()
-	}
-	for i := range cells {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	records := make([]Record, len(cells))
-	for i, c := range cells {
-		records[i] = c.rec
-	}
-	return records, nil
+	return grid.plan().Run(context.Background())
 }

@@ -1,0 +1,227 @@
+// Command mobilevet runs the mobilecongest lint suite: five analyzers that
+// machine-check the simulator's correctness invariants (seed-determinism,
+// slab ownership, map-iteration folds, the port-native boundary, and the
+// observer read-only contract).
+//
+// Standalone:
+//
+//	mobilevet ./...              # lint packages under the current module
+//	mobilevet -detrand=false ./internal/rewind
+//
+// As a go vet tool (includes _test.go files in the load, though the
+// analyzers themselves skip test code):
+//
+//	go vet -vettool=$(command -v mobilevet) ./...
+//
+// Findings suppress with an annotated, reasoned directive on or above the
+// offending line:
+//
+//	//lint:ignore portnative abort path runs once; clarity over zero-alloc
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mobilecongest/internal/lint"
+	"mobilecongest/internal/lint/analysis"
+)
+
+// version is the tool identity `go vet -vettool` caches against; bump when
+// analyzer behavior changes so stale vet caches invalidate.
+const version = "v6"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes vet tools before use: `-V=full` asks for a
+	// cache-keying identity line.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("mobilevet version %s\n", version)
+		return 0
+	}
+
+	suite := lint.Suite()
+	fs := flag.NewFlagSet("mobilevet", flag.ContinueOnError)
+	enabled := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		doc, _, _ := strings.Cut(a.Doc, ";")
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+doc)
+	}
+	jsonFlags := fs.Bool("flags", false, "print the tool's flags as JSON and exit (go vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mobilevet [flags] <packages>\n       go vet -vettool=$(command -v mobilevet) <packages>\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *jsonFlags {
+		return printFlags(fs)
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], active)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	return standalone(rest, active)
+}
+
+// printFlags implements the `-flags` half of the go vet tool protocol: a
+// JSON description of the flags the go command may forward.
+func printFlags(fs *flag.FlagSet) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "flags" {
+			return
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: true, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+// standalone loads patterns through the go list driver and lints them.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilevet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilevet:", err)
+		return 2
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilevet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		if rel, err := filepath.Rel(cwd, f.Posn.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Posn.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the configuration file the go command hands a vet tool for
+// one package — the unitchecker protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck lints the single package described by a go vet .cfg file.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilevet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mobilevet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The suite exports no cross-package facts, but the go command still
+	// expects the facts file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "mobilevet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	goVersion := cfg.GoVersion
+	if v, ok := strings.CutPrefix(goVersion, "go"); ok {
+		// types.Config wants the "go1.N" form without patch suffixes beyond
+		// what it understands; pass through the two-part prefix.
+		parts := strings.SplitN(v, ".", 3)
+		if len(parts) >= 2 {
+			goVersion = "go" + parts[0] + "." + parts[1]
+		}
+	}
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.GoFiles, goVersion, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "mobilevet:", err)
+		return 2
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobilevet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Posn, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the mobilevet binary into a scratch dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mobilevet")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building mobilevet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestStandalone exercises the go list driver end to end: a clean package
+// exits 0, a fixture with violations exits 1 and names them.
+func TestStandalone(t *testing.T) {
+	bin := buildTool(t)
+
+	if out, err := exec.Command(bin, "mobilecongest/internal/vote").CombinedOutput(); err != nil {
+		t.Errorf("clean package: want exit 0, got %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = filepath.Join("..", "..", "internal", "lint", "portnative", "testdata", "src", "flagged")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("flagged fixture: want nonzero exit, got success\n%s", out)
+	}
+	if !strings.Contains(string(out), "legacy map Exchange") {
+		t.Errorf("flagged fixture output missing the portnative diagnostic:\n%s", out)
+	}
+
+	// Disabling the only reporting analyzer must turn the run clean.
+	cmd = exec.Command(bin, "-portnative=false", "./...")
+	cmd.Dir = filepath.Join("..", "..", "internal", "lint", "portnative", "testdata", "src", "flagged")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Errorf("disabled analyzer: want exit 0, got %v\n%s", err, out)
+	}
+}
+
+// TestVettoolProtocol exercises the go vet integration: the -V=full and
+// -flags probes, then a real `go vet -vettool` run over clean and flagged
+// packages.
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "mobilevet version") {
+		t.Errorf("-V=full output %q lacks the version banner", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	for _, name := range []string{"detrand", "maprange", "obsreadonly", "portnative", "slabretain"} {
+		if !strings.Contains(string(out), `"`+name+`"`) {
+			t.Errorf("-flags output lacks analyzer flag %q:\n%s", name, out)
+		}
+	}
+
+	if out, err := exec.Command("go", "vet", "-vettool="+bin, "mobilecongest/internal/vote").CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool on clean package: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("..", "..", "internal", "lint", "portnative", "testdata", "src", "flagged")
+	vetOut, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on flagged fixture: want failure, got success\n%s", vetOut)
+	}
+	if !strings.Contains(string(vetOut), "legacy map Exchange") {
+		t.Errorf("go vet output missing the portnative diagnostic:\n%s", vetOut)
+	}
+}

@@ -121,6 +121,7 @@ func MSTClique() congest.Protocol {
 					// Non-clique topology: abort the run with the canonical
 					// non-neighbor error, like the map outbox used to (and
 					// never fall through desynced if a wrapper tolerates it).
+					//lint:ignore portnative deliberate abort path: the map Exchange is the canonical way to trigger the engine's non-neighbor error
 					rt.Exchange(map[graph.NodeID]congest.Msg{leader: packCandidate(bestW, rt.ID(), bestV)})
 					panic("algorithms: MSTClique component leader is not adjacent")
 				}

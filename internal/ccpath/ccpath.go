@@ -11,6 +11,7 @@ import (
 	"mobilecongest/internal/congest"
 	"mobilecongest/internal/cyclecover"
 	"mobilecongest/internal/graph"
+	"mobilecongest/internal/vote"
 )
 
 // flow is one directed transmission: edge e's message from From to To,
@@ -197,13 +198,10 @@ func (s *simulator) exchange(out map[graph.NodeID]congest.Msg) map[graph.NodeID]
 		}
 		for sender, vs := range perEdge {
 			total := 0
-			bestCnt, best := 0, ""
-			for val, c := range vs {
+			for _, c := range vs {
 				total += c
-				if c > bestCnt {
-					bestCnt, best = c, val
-				}
 			}
+			best, bestCnt := vote.Winner(vs)
 			if 2*bestCnt > total {
 				if dec := decodePayload([]byte(best)); dec != nil {
 					result[sender] = dec

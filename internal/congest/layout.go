@@ -147,15 +147,25 @@ func (b *roundBuffer) materialize() Traffic {
 // normalized to empty messages so slot occupancy mirrors map presence.
 func (b *roundBuffer) loadFrom(tr Traffic) error {
 	b.reset()
+	// The offending edge named in the error must not depend on map order:
+	// fold to the smallest invalid edge instead of erroring mid-iteration.
+	var badDE graph.DirEdge
+	hasBad := false
 	for de, m := range tr {
 		s := b.layout.slot(de.From, de.To)
 		if s < 0 {
-			return fmt.Errorf("congest: adversary injected on non-edge (%d,%d)", de.From, de.To)
+			if !hasBad || de.From < badDE.From || (de.From == badDE.From && de.To < badDE.To) {
+				badDE, hasBad = de, true
+			}
+			continue
 		}
 		if m == nil {
 			m = Msg{}
 		}
 		b.put(s, m)
+	}
+	if hasBad {
+		return fmt.Errorf("congest: adversary injected on non-edge (%d,%d)", badDE.From, badDE.To)
 	}
 	return nil
 }

@@ -156,21 +156,30 @@ func (w *WrappedRuntime) Exchange(out map[graph.NodeID]Msg) map[graph.NodeID]Msg
 	}
 	buf := w.OutBuf()
 	clear(buf) // a map Exchange sends exactly the map's entries
+	badTo, hasBad := graph.NodeID(0), false
 	for to, m := range out {
 		if m == nil {
 			continue
 		}
 		p := w.Port(to)
 		if p < 0 {
-			// Preserve the legacy failure mode: forwarding the bad outbox to
-			// the base runtime aborts the run with the canonical
-			// "sent to non-neighbor" error (it never returns on the engines'
-			// runtimes; panic as a last resort for exotic bases).
-			clear(buf)
-			w.Base.Exchange(out)
-			panic(fmt.Sprintf("congest: wrapped exchange to non-neighbor %d", to))
+			// Fold to the smallest bad recipient so the failure below names
+			// the same node regardless of map iteration order.
+			if !hasBad || to < badTo {
+				badTo, hasBad = to, true
+			}
+			continue
 		}
 		buf[p] = m
+	}
+	if hasBad {
+		// Preserve the legacy failure mode: forwarding the bad outbox to
+		// the base runtime aborts the run with the canonical
+		// "sent to non-neighbor" error (it never returns on the engines'
+		// runtimes; panic as a last resort for exotic bases).
+		clear(buf)
+		w.Base.Exchange(out)
+		panic(fmt.Sprintf("congest: wrapped exchange to non-neighbor %d", badTo))
 	}
 	return portsToMap(w.Base.Neighbors(), w.ExchangePorts(buf))
 }

@@ -4,6 +4,7 @@ import (
 	mc "mobilecongest"
 
 	"fmt"
+	"sort"
 
 	"mobilecongest/internal/adversary"
 	"mobilecongest/internal/algorithms"
@@ -97,8 +98,21 @@ func runT2(seed int64) (*Table, error) {
 					obs[e] = append(obs[e], round)
 				}
 			}
+			// Verify in sorted edge order so a verification error surfaces
+			// the same edge on every run (map order is randomized).
+			edges := make([]graph.Edge, 0, len(obs))
+			for e := range obs {
+				edges = append(edges, e)
+			}
+			sort.Slice(edges, func(a, b int) bool {
+				if edges[a].U != edges[b].U {
+					return edges[a].U < edges[b].U
+				}
+				return edges[a].V < edges[b].V
+			})
 			bad := 0
-			for _, rounds := range obs {
+			for _, e := range edges {
+				rounds := obs[e]
 				if len(rounds) > tSlack {
 					bad++
 					continue

@@ -1,0 +1,114 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest at the surface the mobilevet
+// suite uses. A fixture line carries
+//
+//	code() // want `regexp` `another`
+//
+// and the test fails on any diagnostic without a matching expectation on
+// its line, and on any expectation no diagnostic fulfilled.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mobilecongest/internal/lint/analysis"
+)
+
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each case directory under srcDir as one package, applies the
+// analyzer through the same driver the mobilevet binary uses (so
+// //lint:ignore suppression is part of what fixtures exercise), and
+// verifies the findings against the // want comments.
+func Run(t *testing.T, srcDir string, a *analysis.Analyzer, cases ...string) {
+	t.Helper()
+	for _, c := range cases {
+		t.Run(c, func(t *testing.T) {
+			runCase(t, filepath.Join(srcDir, c), a)
+		})
+	}
+}
+
+func runCase(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, pkg, f)...)
+		}
+	}
+
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+finding:
+	for _, f := range findings {
+		for _, w := range wants {
+			if w.matched || w.file != f.Posn.Filename || w.line != f.Posn.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				continue finding
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", f)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the // want expectations of one file.
+func parseWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			posn := pkg.Fset.Position(c.Pos())
+			for _, q := range wantRe.FindAllString(text, -1) {
+				var pat string
+				if q[0] == '`' {
+					pat = q[1 : len(q)-1]
+				} else {
+					var err error
+					if pat, err = strconv.Unquote(q); err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", posn, q, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %s: %v", posn, pat, err)
+				}
+				wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+			}
+		}
+	}
+	return wants
+}

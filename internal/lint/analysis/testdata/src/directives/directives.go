@@ -1,0 +1,16 @@
+// Fixture for directive parsing: one malformed directive, one stale one,
+// and one naming an analyzer that is not running (tolerated).
+package directives
+
+//lint:ignore
+func malformed() {}
+
+func stale() {
+	//lint:ignore noop this suppression matches no diagnostic and must be reported stale
+	_ = 1
+}
+
+func disabled() {
+	//lint:ignore someother a directive for a non-running analyzer cannot be proven stale
+	_ = 2
+}

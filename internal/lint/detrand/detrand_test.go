@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"mobilecongest/internal/lint/analysis/analysistest"
+	"mobilecongest/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata/src", detrand.Analyzer, "flagged", "clean")
+}

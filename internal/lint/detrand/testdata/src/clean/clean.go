@@ -1,0 +1,18 @@
+// Fixture: randomness flowing from an explicit seed, and a reasoned
+// suppression for a harness-level wall-clock read.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func wallClockTimer() time.Time {
+	//lint:ignore detrand wall-clock timing of the whole run never feeds protocol state
+	return time.Now()
+}

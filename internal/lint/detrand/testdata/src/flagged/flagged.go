@@ -1,0 +1,21 @@
+// Fixture: ambient randomness and wall-clock reads inside an internal
+// package.
+package flagged
+
+import (
+	crand "crypto/rand" // want `OS randomness is never deterministic`
+	"math/rand"
+	"time"
+)
+
+func globalSource() int {
+	return rand.Intn(10) // want `ambient global source`
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock`
+}
+
+func osEntropy(buf []byte) {
+	crand.Read(buf)
+}

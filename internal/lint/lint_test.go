@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"mobilecongest/internal/lint"
+	"mobilecongest/internal/lint/analysis"
+)
+
+// TestRepoIsClean runs the full suite over every package in the module —
+// the same gate CI enforces. A failure here means a new invariant violation
+// landed (or an analyzer grew a false positive; tune the analyzer or add a
+// reasoned //lint:ignore, never delete the gate).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, lint.Suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,153 @@
+// Package lintutil holds the small type- and path-query helpers the
+// mobilevet analyzers share: where a method was declared, whether a package
+// is part of the simulator's internal hot path, and syntactic object
+// mention checks used by the data-flow heuristics.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CongestPath is the import path of the simulator core that owns the slab
+// buffers and the legacy compat wrappers.
+const CongestPath = "mobilecongest/internal/congest"
+
+// InternalPrefix is the import-path prefix of the simulator's internal
+// packages — the scope most invariants apply to.
+const InternalPrefix = "mobilecongest/internal/"
+
+// BasePkgPath strips the test-variant suffix the go command appends to
+// import paths of packages rebuilt for a test binary
+// ("p [p.test]" -> "p", "p.test" -> "p").
+func BasePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, ".test")
+}
+
+// IsInternal reports whether the (base) package path is one of the
+// simulator's internal packages.
+func IsInternal(path string) bool {
+	return strings.HasPrefix(BasePkgPath(path), InternalPrefix)
+}
+
+// IsCongest reports whether the (base) package path is the congest core
+// itself.
+func IsCongest(path string) bool {
+	base := BasePkgPath(path)
+	return base == CongestPath || strings.HasPrefix(base, CongestPath+"/")
+}
+
+// IsTestFile reports whether pos sits in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// through selector or plain identifier syntax. Returns nil for calls
+// through function-typed values, type conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsCongestMethod reports whether call invokes a method that congest
+// declares (directly or via one of its interfaces) with one of the given
+// names.
+func IsCongestMethod(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != CongestPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// RootIdent unwraps parens, stars, indexes, slices, and field selectors to
+// the base identifier of an lvalue-ish expression ("s.f[i].g" -> "s").
+// Returns nil when the base is not a plain identifier (e.g. a call result).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjOf resolves an identifier to its object through either Uses or Defs.
+func ObjOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// Mentions reports whether any identifier inside e resolves to an object in
+// set.
+func Mentions(info *types.Info, e ast.Node, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := ObjOf(info, id); o != nil && set[o] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// MentionsObj reports whether any identifier inside e resolves to obj.
+func MentionsObj(info *types.Info, e ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	return Mentions(info, e, map[types.Object]bool{obj: true})
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside the span of
+// node n.
+func DeclaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() != token.NoPos && n.Pos() <= obj.Pos() && obj.Pos() < n.End()
+}
+
+// IsPkgLevel reports whether obj is a package-level object of pkg.
+func IsPkgLevel(obj types.Object, pkg *types.Package) bool {
+	return obj != nil && pkg != nil && obj.Parent() == pkg.Scope()
+}

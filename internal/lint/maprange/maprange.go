@@ -1,0 +1,537 @@
+// Package maprange defines an analyzer rejecting iteration-order-dependent
+// writes inside `range` loops over maps. Go randomizes map iteration order
+// per range statement, so any fold over a map that is not commutative — a
+// majority vote adopting the first max it meets, a panic naming whichever
+// offender came up first, an append consumed unsorted — yields different
+// results run to run and across engines, breaking the simulator's
+// bit-determinism contract. This is exactly the bug class behind the
+// original algorithms.Broadcast divergence: parent adoption followed map
+// order instead of a min-fold.
+//
+// The analyzer recognizes the deterministic fold shapes the codebase uses
+// and flags everything else:
+//
+//   - commutative compound assignments (+=, -=, *=, |=, &=, ^=, &^=) and
+//     ++/--;
+//   - writes keyed by the loop key (map keys are unique, so each iteration
+//     touches its own element), including indices derived from the key via
+//     the port layer's injective Port/Neighbor mappings;
+//   - writes whose value does not depend on the loop variables (idempotent
+//     per target);
+//   - delete from a map (each key deleted at most once);
+//   - folds guarded by a strict ordering comparison: either the loop key is
+//     compared against an adopted variable (unique keys make the full
+//     multi-assign a deterministic argmin/argmax), or every adopted
+//     variable has its own strict comparison against the value it adopts;
+//   - statements under a guard equating the loop key with a loop-independent
+//     value (at most one iteration can match);
+//   - appends of loop-dependent values that are sorted after the loop.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobilecongest/internal/lint/analysis"
+	"mobilecongest/internal/lint/lintutil"
+)
+
+// Analyzer flags order-dependent writes inside range-over-map loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flags range-over-map bodies that write to outboxes, ports, or outer state " +
+		"in an iteration-order-dependent way; map order is randomized, so folds must " +
+		"be commutative, keyed by the loop key, or guarded by strict ordering comparisons",
+	Run: run,
+}
+
+// commutativeTok are the compound-assignment operators whose repeated
+// application is order-independent.
+var commutativeTok = map[token.Token]bool{
+	token.ADD_ASSIGN:     true,
+	token.SUB_ASSIGN:     true,
+	token.MUL_ASSIGN:     true,
+	token.OR_ASSIGN:      true,
+	token.AND_ASSIGN:     true,
+	token.XOR_ASSIGN:     true,
+	token.AND_NOT_ASSIGN: true,
+}
+
+// injectiveMethods are port-layer mappings that send distinct node or edge
+// keys to distinct results, so an index derived from the loop key through
+// them still addresses a unique element per iteration.
+var injectiveMethods = map[string]bool{
+	"Port": true, "Neighbor": true, "Slot": true,
+	"portIndex": true, "slot": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.IsInternal(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[rs.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						newRangeChecker(pass, fd, rs).check()
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type rangeChecker struct {
+	pass   *analysis.Pass
+	fd     *ast.FuncDecl
+	rs     *ast.RangeStmt
+	keyObj types.Object
+	dep    map[types.Object]bool // loop-dependent values
+	inj    map[types.Object]bool // injective-in-the-key index values
+}
+
+func newRangeChecker(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) *rangeChecker {
+	c := &rangeChecker{pass: pass, fd: fd, rs: rs,
+		dep: make(map[types.Object]bool), inj: make(map[types.Object]bool)}
+	for i, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := lintutil.ObjOf(pass.TypesInfo, id); obj != nil {
+			c.dep[obj] = true
+			if i == 0 {
+				c.keyObj = obj
+				c.inj[obj] = true
+			}
+		}
+	}
+	c.propagate()
+	return c
+}
+
+// propagate grows the loop-dependent set through assignments in the body
+// until stable, and alongside it the injective set: locals bound to
+// Port/Neighbor of an injective value remain unique per iteration.
+func (c *rangeChecker) propagate() {
+	info := c.pass.TypesInfo
+	for {
+		before := len(c.dep) + len(c.inj)
+		ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := lintutil.ObjOf(info, id)
+					if obj == nil {
+						continue
+					}
+					var rhs ast.Expr
+					if len(s.Rhs) == len(s.Lhs) {
+						rhs = s.Rhs[i]
+					} else if len(s.Rhs) == 1 {
+						rhs = s.Rhs[0]
+					}
+					if rhs != nil && lintutil.Mentions(info, rhs, c.dep) {
+						c.dep[obj] = true
+					}
+					if rhs != nil && len(s.Rhs) == len(s.Lhs) && c.injectiveExpr(rhs) {
+						c.inj[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if s != c.rs && lintutil.Mentions(info, s.X, c.dep) {
+					for _, e := range []ast.Expr{s.Key, s.Value} {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := lintutil.ObjOf(info, id); obj != nil {
+								c.dep[obj] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if len(c.dep)+len(c.inj) == before {
+			break
+		}
+	}
+}
+
+func (c *rangeChecker) check() {
+	c.walk(c.rs.Body, nil)
+}
+
+// walk visits body statements carrying the stack of enclosing if/switch
+// conditions, which the guard rules consult.
+func (c *rangeChecker) walk(stmt ast.Stmt, conds []ast.Expr) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.walk(st, conds)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walk(s.Init, conds)
+		}
+		c.walk(s.Body, append(conds, s.Cond))
+		if s.Else != nil {
+			c.walk(s.Else, conds)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walk(s.Init, conds)
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			clauseConds := conds
+			if s.Tag != nil {
+				// `switch key { case x: }` is an equality guard on key.
+				for _, e := range cc.List {
+					clauseConds = append(clauseConds, &ast.BinaryExpr{X: s.Tag, Op: token.EQL, Y: e})
+				}
+			} else {
+				clauseConds = append(clauseConds, cc.List...)
+			}
+			for _, st := range cc.Body {
+				c.walk(st, clauseConds)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			for _, st := range cl.(*ast.CaseClause).Body {
+				c.walk(st, conds)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			for _, st := range cl.(*ast.CommClause).Body {
+				c.walk(st, conds)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walk(s.Init, conds)
+		}
+		if s.Post != nil {
+			c.walk(s.Post, conds)
+		}
+		c.walk(s.Body, conds)
+	case *ast.RangeStmt:
+		// A nested map range is analyzed on its own; its writes are still
+		// checked here against the outer loop's dependence set.
+		c.walk(s.Body, conds)
+	case *ast.LabeledStmt:
+		c.walk(s.Stmt, conds)
+	case *ast.AssignStmt:
+		c.checkAssign(s, conds)
+	case *ast.ReturnStmt:
+		c.checkReturn(s, conds)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			c.checkCall(call, conds)
+		}
+	}
+}
+
+func (c *rangeChecker) checkAssign(as *ast.AssignStmt, conds []ast.Expr) {
+	if commutativeTok[as.Tok] || as.Tok == token.DEFINE {
+		return
+	}
+	cmps := comparisons(conds)
+	if c.eqGuarded(cmps) {
+		return // at most one iteration reaches this statement
+	}
+	keyRule := c.keyRuleHolds(cmps, as)
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else {
+			rhs = as.Rhs[0]
+		}
+		c.checkWrite(lhs, rhs, cmps, keyRule)
+	}
+}
+
+// checkWrite applies the safe-form taxonomy to one lvalue/value pair and
+// reports when none sanctions it.
+func (c *rangeChecker) checkWrite(lhs, rhs ast.Expr, cmps []*ast.BinaryExpr, keyRule bool) {
+	info := c.pass.TypesInfo
+	root := lintutil.RootIdent(lhs)
+	if root != nil && root.Name == "_" {
+		return
+	}
+	var rootObj types.Object
+	if root != nil {
+		rootObj = lintutil.ObjOf(info, root)
+	}
+	// Writes to loop-local state cannot leak iteration order.
+	if rootObj != nil && lintutil.DeclaredWithin(rootObj, c.rs.Body) {
+		return
+	}
+	// Writes keyed (injectively) by the loop key touch a unique element.
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && c.injectiveExpr(idx.Index) {
+		return
+	}
+	// A value independent of the loop variables makes every iteration's
+	// write identical, so order cannot matter.
+	if rhs == nil || !lintutil.Mentions(info, rhs, c.dep) {
+		return
+	}
+	// append-to-outer is fine when the result is sorted after the loop.
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if c.sortedAfterLoop(rootObj) {
+				return
+			}
+			c.pass.Reportf(lhs.Pos(), "append of loop-dependent value inside map range accumulates in random order; sort the slice after the loop or collect keys and iterate sorted")
+			return
+		}
+	}
+	if keyRule {
+		return
+	}
+	// Pairwise rule: the adopted variable itself is compared with a strict
+	// ordering against loop-dependent data (deterministic max/min fold).
+	if rootObj != nil && c.pairwiseGuard(cmps, rootObj) {
+		return
+	}
+	c.pass.Reportf(lhs.Pos(), "order-dependent write inside map range: map iteration order is randomized, so which value wins here is nondeterministic; key the write by the loop key, fold commutatively, or guard the adoption with a strict ordering comparison (break ties on the key)")
+}
+
+func (c *rangeChecker) checkReturn(rt *ast.ReturnStmt, conds []ast.Expr) {
+	info := c.pass.TypesInfo
+	cmps := comparisons(conds)
+	if c.eqGuarded(cmps) {
+		return
+	}
+	for _, res := range rt.Results {
+		if lintutil.Mentions(info, res, c.dep) {
+			c.pass.Reportf(rt.Pos(), "return of loop-dependent value from inside map range; which iteration returns first is nondeterministic — fold to a deterministic representative, or guard with an equality on the loop key")
+			return
+		}
+	}
+}
+
+func (c *rangeChecker) checkCall(call *ast.CallExpr, conds []ast.Expr) {
+	info := c.pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "delete":
+			return // each key is deleted at most once; order irrelevant
+		case "panic":
+			if len(call.Args) == 1 && lintutil.Mentions(info, call.Args[0], c.dep) && !c.eqGuarded(comparisons(conds)) {
+				c.pass.Reportf(call.Pos(), "panic naming a loop-dependent offender inside map range; which offender panics first is nondeterministic — pick a deterministic representative (e.g. the smallest key) before panicking")
+			}
+			return
+		}
+	}
+	// Slot writes into ports/outboxes: deterministic only when the slot is
+	// derived injectively from the loop key.
+	if lintutil.IsCongestMethod(info, call, "Set") {
+		for _, arg := range call.Args {
+			if c.injectiveExpr(arg) {
+				return
+			}
+		}
+		if anyMentions(info, call.Args, c.dep) && !c.eqGuarded(comparisons(conds)) {
+			c.pass.Reportf(call.Pos(), "slot Set inside map range with a loop-dependent slot that is not derived from the loop key; colliding slots resolve in random order")
+		}
+	}
+}
+
+// injectiveExpr reports whether e addresses a unique element per loop
+// iteration: the loop key (or an alias), a Port/Neighbor mapping of one, or
+// a composite key embedding one.
+func (c *rangeChecker) injectiveExpr(e ast.Expr) bool {
+	info := c.pass.TypesInfo
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := lintutil.ObjOf(info, x)
+		return obj != nil && c.inj[obj]
+	case *ast.CallExpr:
+		fn := lintutil.CalleeFunc(info, x)
+		if fn == nil || !injectiveMethods[fn.Name()] {
+			return false
+		}
+		// The mapping is injective in its key argument, which may reach it
+		// through field selection (Slot(de.From, de.To) is injective in de).
+		for _, arg := range x.Args {
+			if c.injectiveExpr(arg) || lintutil.Mentions(info, arg, c.inj) {
+				return true
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.injectiveExpr(el) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// eqGuarded reports whether some enclosing condition equates the loop key
+// with a loop-independent value, so at most one iteration passes the guard.
+func (c *rangeChecker) eqGuarded(cmps []*ast.BinaryExpr) bool {
+	info := c.pass.TypesInfo
+	if c.keyObj == nil {
+		return false
+	}
+	for _, cmp := range cmps {
+		if cmp.Op != token.EQL {
+			continue
+		}
+		for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+			if lintutil.MentionsObj(info, pair[0], c.keyObj) && !lintutil.Mentions(info, pair[1], c.dep) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// keyRuleHolds reports whether some enclosing condition strictly compares
+// the loop key against one of the assignment's targets. Map keys are
+// unique, so a strict key comparison never ties, making the whole
+// multi-assign a deterministic argmin/argmax regardless of what else it
+// adopts.
+func (c *rangeChecker) keyRuleHolds(cmps []*ast.BinaryExpr, as *ast.AssignStmt) bool {
+	info := c.pass.TypesInfo
+	if c.keyObj == nil {
+		return false
+	}
+	for _, cmp := range cmps {
+		if cmp.Op != token.LSS && cmp.Op != token.GTR {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			root := lintutil.RootIdent(lhs)
+			if root == nil {
+				continue
+			}
+			obj := lintutil.ObjOf(info, root)
+			if obj == nil {
+				continue
+			}
+			for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+				if lintutil.MentionsObj(info, pair[0], c.keyObj) && lintutil.MentionsObj(info, pair[1], obj) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pairwiseGuard reports whether some enclosing condition strictly compares
+// the adopted variable against loop-dependent data — the classic
+// `if v > best { best = v }` max fold, deterministic because equal values
+// are indistinguishable.
+func (c *rangeChecker) pairwiseGuard(cmps []*ast.BinaryExpr, adopted types.Object) bool {
+	info := c.pass.TypesInfo
+	for _, cmp := range cmps {
+		if cmp.Op != token.LSS && cmp.Op != token.GTR {
+			continue
+		}
+		for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+			if lintutil.MentionsObj(info, pair[0], adopted) && lintutil.Mentions(info, pair[1], c.dep) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedAfterLoop reports whether the enclosing function sorts the slice
+// held by obj somewhere after the range loop ends.
+func (c *rangeChecker) sortedAfterLoop(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	info := c.pass.TypesInfo
+	sorted := false
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := lintutil.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		isSort := false
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+				isSort = true
+			}
+		case "slices":
+			switch fn.Name() {
+			case "Sort", "SortFunc", "SortStableFunc":
+				isSort = true
+			}
+		}
+		if isSort && lintutil.MentionsObj(info, call.Args[0], obj) {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// comparisons collects every comparison operator reachable in the given
+// condition expressions (through &&, ||, !, and parentheses).
+func comparisons(conds []ast.Expr) []*ast.BinaryExpr {
+	var out []*ast.BinaryExpr
+	for _, cond := range conds {
+		ast.Inspect(cond, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BinaryExpr); ok {
+				switch b.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+					out = append(out, b)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func anyMentions(info *types.Info, exprs []ast.Expr, set map[types.Object]bool) bool {
+	for _, e := range exprs {
+		if lintutil.Mentions(info, e, set) {
+			return true
+		}
+	}
+	return false
+}

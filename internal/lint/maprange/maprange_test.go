@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"mobilecongest/internal/lint/analysis/analysistest"
+	"mobilecongest/internal/lint/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "testdata/src", maprange.Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,93 @@
+// Fixture: the deterministic fold shapes the analyzer must accept, plus a
+// reasoned suppression.
+package clean
+
+import "sort"
+
+func commutative(m map[int]int) int {
+	total := 0
+	for _, c := range m {
+		total += c
+	}
+	return total
+}
+
+func counters(events map[string]int, hist map[int]int) {
+	for _, c := range events {
+		hist[c]++
+	}
+}
+
+func keyedCopy(in map[string]int) map[string]int {
+	out := make(map[string]int, len(in))
+	for k, v := range in {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+func tieBrokenArgmax(votes map[uint64]int) uint64 {
+	var best uint64
+	bestCnt := 0
+	for v, c := range votes {
+		if c > bestCnt || (c == bestCnt && v < best) {
+			best, bestCnt = v, c
+		}
+	}
+	return best
+}
+
+func valueMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func uniqueLookup(m map[int]string, want int) string {
+	for k, v := range m {
+		if k == want {
+			return v
+		}
+	}
+	return ""
+}
+
+func prune(m map[int]int, limit int) {
+	for k, v := range m {
+		if v > limit {
+			delete(m, k)
+		}
+	}
+}
+
+func flagFound(m map[int]int, needle int) bool {
+	found := false
+	for _, v := range m {
+		if v == needle {
+			found = true
+		}
+	}
+	return found
+}
+
+func suppressed(m map[int]int) int {
+	last := 0
+	for _, v := range m {
+		//lint:ignore maprange the caller guarantees a single-entry map here
+		last = v
+	}
+	return last
+}

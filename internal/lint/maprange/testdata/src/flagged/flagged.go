@@ -1,0 +1,49 @@
+// Fixture: iteration-order-dependent folds over maps — the Broadcast bug
+// class in each of its guises.
+package flagged
+
+import "fmt"
+
+func firstMaxWins(votes map[uint64]int) uint64 {
+	var best uint64
+	bestCnt := 0
+	for v, c := range votes {
+		if c > bestCnt {
+			best, bestCnt = v, c // want `order-dependent write inside map range`
+		}
+	}
+	return best
+}
+
+func lastWriteWins(m map[int]string) string {
+	var s string
+	for _, v := range m {
+		s = v // want `order-dependent write inside map range`
+	}
+	return s
+}
+
+func earlyReturn(m map[int]string) string {
+	for _, v := range m {
+		if len(v) > 3 {
+			return v // want `return of loop-dependent value`
+		}
+	}
+	return ""
+}
+
+func randomOffender(sizes map[int]int, max int) {
+	for node, n := range sizes {
+		if n > max {
+			panic(fmt.Sprintf("node %d oversized: %d", node, n)) // want `panic naming a loop-dependent offender`
+		}
+	}
+}
+
+func unsortedGather(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append of loop-dependent value`
+	}
+	return keys
+}

@@ -1,0 +1,27 @@
+// Package lint assembles the mobilevet analyzer suite: five analyzers
+// encoding the simulator's correctness invariants as machine-checked rules.
+// Each analyzer guards a contract that ordinary tests cannot see violated —
+// slab reuse, seed-determinism, map-order folds, the port-native boundary,
+// and the observer read-only discipline. cmd/mobilevet runs the suite
+// standalone or as a `go vet -vettool`.
+package lint
+
+import (
+	"mobilecongest/internal/lint/analysis"
+	"mobilecongest/internal/lint/detrand"
+	"mobilecongest/internal/lint/maprange"
+	"mobilecongest/internal/lint/obsreadonly"
+	"mobilecongest/internal/lint/portnative"
+	"mobilecongest/internal/lint/slabretain"
+)
+
+// Suite returns the full mobilevet analyzer set in stable order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		maprange.Analyzer,
+		obsreadonly.Analyzer,
+		portnative.Analyzer,
+		slabretain.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package obsreadonly_test
+
+import (
+	"testing"
+
+	"mobilecongest/internal/lint/analysis/analysistest"
+	"mobilecongest/internal/lint/obsreadonly"
+)
+
+func TestObsreadonly(t *testing.T) {
+	analysistest.Run(t, "testdata/src", obsreadonly.Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,46 @@
+// Fixture: observers treating the delivered round as read-only — retaining
+// copies and sorting only their own slices — plus a reasoned suppression.
+package clean
+
+import (
+	"sort"
+
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+type archiver struct {
+	rounds [][]graph.Edge
+	bytes  int
+}
+
+func (a *archiver) RoundStart(round int)                   {}
+func (a *archiver) RunDone(stats congest.Stats, err error) {}
+
+func (a *archiver) RoundDelivered(round int, view *congest.RoundView) {
+	for _, m := range view.All() {
+		a.bytes += len(m)
+	}
+	cor := append([]graph.Edge(nil), view.Corrupted()...)
+	sort.Slice(cor, func(i, j int) bool {
+		if cor[i].U != cor[j].U {
+			return cor[i].U < cor[j].U
+		}
+		return cor[i].V < cor[j].V
+	})
+	a.rounds = append(a.rounds, cor)
+}
+
+type redactor struct{}
+
+func (redactor) RoundStart(round int)                   {}
+func (redactor) RunDone(stats congest.Stats, err error) {}
+
+func (redactor) RoundDelivered(round int, view *congest.RoundView) {
+	for _, m := range view.All() {
+		if len(m) > 0 {
+			//lint:ignore obsreadonly this fixture observer runs last and owns teardown of the round buffer
+			m[0] = 0
+		}
+	}
+}

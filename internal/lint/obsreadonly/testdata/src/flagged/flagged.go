@@ -1,0 +1,44 @@
+// Fixture: observers mutating the delivered round view they were handed.
+package flagged
+
+import (
+	"sort"
+
+	"mobilecongest/internal/congest"
+)
+
+type scrubber struct{}
+
+func (scrubber) RoundStart(round int)                   {}
+func (scrubber) RunDone(stats congest.Stats, err error) {}
+
+func (scrubber) RoundDelivered(round int, view *congest.RoundView) {
+	for _, m := range view.All() {
+		if len(m) > 0 {
+			m[0] = 0 // want `observer mutates delivered round data`
+		}
+	}
+}
+
+type reorderer struct{}
+
+func (reorderer) RoundStart(round int)                   {}
+func (reorderer) RunDone(stats congest.Stats, err error) {}
+
+func (reorderer) RoundDelivered(round int, view *congest.RoundView) {
+	cor := view.Corrupted()
+	sort.Slice(cor, func(i, j int) bool { return cor[i].U < cor[j].U }) // want `sorts delivered round data in place`
+}
+
+type injector struct{}
+
+func (injector) RoundStart(round int)                   {}
+func (injector) RunDone(stats congest.Stats, err error) {}
+
+func (injector) RoundDelivered(round int, view *congest.RoundView) {
+	for _, m := range view.All() {
+		if len(m) > 2 {
+			copy(m, []byte{1, 2}) // want `copies into delivered round data`
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package portnative defines an analyzer rejecting the legacy map-based
+// compat wrappers — Runtime.Exchange and the RoundTraffic/RoundView Traffic
+// materializations — inside the simulator's internal packages. The map
+// surfaces survive purely for foreign code (third-party protocols and
+// adversaries); internal hot-path code must stay slot/port-native, both for
+// the zero-alloc guarantees (each Exchange call materializes per-round
+// maps) and because the compat fold re-derives state the port layer already
+// holds.
+package portnative
+
+import (
+	"go/ast"
+
+	"mobilecongest/internal/lint/analysis"
+	"mobilecongest/internal/lint/lintutil"
+)
+
+// Analyzer flags calls to the legacy map compat wrappers from internal
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "portnative",
+	Doc: "flags legacy map Exchange/Traffic compat calls in internal packages; " +
+		"internal protocol and adversary code must use the slot/port-native surfaces " +
+		"(PortRuntime.ExchangePorts, RoundTraffic slot access)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !lintutil.IsInternal(path) || lintutil.IsCongest(path) {
+		// The congest core owns the wrappers; everything outside internal/
+		// is exactly the foreign-code audience they exist for.
+		return nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue // tests pin the compat wrappers byte-identical on purpose
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case lintutil.IsCongestMethod(pass.TypesInfo, call, "Exchange"):
+				pass.Reportf(call.Pos(), "call to legacy map Exchange compat wrapper; internal code must use PortRuntime.ExchangePorts")
+			case lintutil.IsCongestMethod(pass.TypesInfo, call, "Traffic"):
+				pass.Reportf(call.Pos(), "call to legacy Traffic map materialization; internal code must use slot-native access (All/Get/Set)")
+			}
+			return true
+		})
+	}
+	return nil
+}

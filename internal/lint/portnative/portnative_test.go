@@ -1,0 +1,12 @@
+package portnative_test
+
+import (
+	"testing"
+
+	"mobilecongest/internal/lint/analysis/analysistest"
+	"mobilecongest/internal/lint/portnative"
+)
+
+func TestPortnative(t *testing.T) {
+	analysistest.Run(t, "testdata/src", portnative.Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,23 @@
+// Fixture: slot/port-native code, plus a reasoned suppression on the one
+// deliberate compat call.
+package clean
+
+import (
+	"mobilecongest/internal/congest"
+	"mobilecongest/internal/graph"
+)
+
+func portExchange(pr congest.PortRuntime, m congest.Msg) congest.Msg {
+	out := pr.OutBuf()
+	for p := 0; p < pr.Degree(); p++ {
+		out[p] = m
+	}
+	in := pr.ExchangePorts(out)
+	return in[0]
+}
+
+func deliberateAbort(rt congest.Runtime, to graph.NodeID) {
+	//lint:ignore portnative abort path: the map Exchange is the canonical way to trigger the engine's non-neighbor error
+	rt.Exchange(map[graph.NodeID]congest.Msg{to: nil})
+	panic("unreachable")
+}

@@ -1,0 +1,12 @@
+package slabretain_test
+
+import (
+	"testing"
+
+	"mobilecongest/internal/lint/analysis/analysistest"
+	"mobilecongest/internal/lint/slabretain"
+)
+
+func TestSlabretain(t *testing.T) {
+	analysistest.Run(t, "testdata/src", slabretain.Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,36 @@
+// Fixture: the sanctioned ways to use slab views — consume within the
+// round or retain a copy — plus a reasoned suppression.
+package clean
+
+import "mobilecongest/internal/congest"
+
+type collector struct {
+	copies [][]byte
+	sizes  []int
+}
+
+func (c *collector) consumeWithinRound(pr congest.PortRuntime, out []congest.Msg) {
+	in := pr.ExchangePorts(out)
+	for _, m := range in {
+		c.sizes = append(c.sizes, len(m))
+	}
+}
+
+func (c *collector) retainCopies(pr congest.PortRuntime, out []congest.Msg) {
+	in := pr.ExchangePorts(out)
+	for _, m := range in {
+		if m != nil {
+			c.copies = append(c.copies, append([]byte(nil), m...))
+		}
+	}
+}
+
+type stager struct {
+	scratch []congest.Msg
+}
+
+func (s *stager) stage(pr congest.PortRuntime, out []congest.Msg) {
+	in := pr.ExchangePorts(out)
+	//lint:ignore slabretain scratch is consumed before this round's handler returns
+	s.scratch = in
+}

@@ -1,0 +1,33 @@
+// Fixture: slab-backed views retained past the round that produced them.
+package flagged
+
+import "mobilecongest/internal/congest"
+
+var lastInbox []congest.Msg
+
+type sniffer struct {
+	inbox []congest.Msg
+	view  *congest.RoundView
+}
+
+func (s *sniffer) retainInbox(pr congest.PortRuntime, out []congest.Msg) {
+	in := pr.ExchangePorts(out)
+	s.inbox = in // want `stored in struct field`
+}
+
+func retainGlobal(pr congest.PortRuntime) {
+	lastInbox = pr.OutBuf() // want `package-level variable`
+}
+
+func (s *sniffer) RoundStart(round int) {}
+
+func (s *sniffer) RoundDelivered(round int, view *congest.RoundView) {
+	s.view = view // want `stored in struct field`
+}
+
+func (s *sniffer) RunDone(stats congest.Stats, err error) {}
+
+func leakClosure(pr congest.PortRuntime, out []congest.Msg) func() congest.Msg {
+	in := pr.ExchangePorts(out)
+	return func() congest.Msg { return in[0] } // want `escapes via return`
+}

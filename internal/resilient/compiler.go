@@ -228,10 +228,14 @@ type simulator struct {
 // exchange simulates one payload round: raw exchange, then mismatch
 // correction (Steps 1-3 of Section 3.2.2).
 func (s *simulator) exchange(out map[graph.NodeID]congest.Msg) map[graph.NodeID]congest.Msg {
+	badTo, badLen := graph.NodeID(0), -1
 	for to, m := range out {
-		if len(m) > MaxPayloadBytes {
-			panic(fmt.Sprintf("resilient: payload message to %d has %d bytes, max %d", to, len(m), MaxPayloadBytes))
+		if len(m) > MaxPayloadBytes && (badLen < 0 || to < badTo) {
+			badTo, badLen = to, len(m)
 		}
+	}
+	if badLen >= 0 {
+		panic(fmt.Sprintf("resilient: payload message to %d has %d bytes, max %d", badTo, badLen, MaxPayloadBytes))
 	}
 	// Step 1: single-round message exchange, on the port boundary. A payload
 	// send to a non-neighbor falls back to the map barrier, which aborts the
@@ -252,6 +256,7 @@ func (s *simulator) exchange(out map[graph.NodeID]congest.Msg) map[graph.NodeID]
 	est := make(map[graph.NodeID]estimate, s.pr.Degree())
 	if !valid {
 		clear(pout)
+		//lint:ignore portnative deliberate abort path: the map Exchange is the canonical way to trigger the engine's non-neighbor error
 		s.rt.Exchange(out) // aborts: non-neighbor send
 		panic("resilient: payload sent to non-neighbor")
 	} else {

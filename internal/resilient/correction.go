@@ -7,6 +7,7 @@ import (
 	"mobilecongest/internal/graph"
 	"mobilecongest/internal/rsim"
 	"mobilecongest/internal/sketch"
+	"mobilecongest/internal/vote"
 )
 
 // Correction iterations. Both variants share the same skeleton per
@@ -92,14 +93,7 @@ func (s *simulator) sparseIteration(sent, est map[graph.NodeID]estimate, _ int) 
 			}
 			votes[string(encodeCorrections(itemsToCorrections(items)))]++
 		}
-		bestCnt := 0
-		var best string
-		for v, c := range votes {
-			if c > bestCnt {
-				bestCnt = c
-				best = v
-			}
-		}
+		best, bestCnt := vote.Winner(votes)
 		if 2*bestCnt > k {
 			corrMsg = []byte(best)
 		} else {
@@ -234,7 +228,13 @@ func (s *simulator) rootSelectDominating(rootAggs [][]byte, seed uint64, j int) 
 		if picked[a].e.Hi != picked[b].e.Hi {
 			return picked[a].e.Hi < picked[b].e.Hi
 		}
-		return picked[a].e.Lo < picked[b].e.Lo
+		if picked[a].e.Lo != picked[b].e.Lo {
+			return picked[a].e.Lo < picked[b].e.Lo
+		}
+		// Two observations can share an element but differ in sign; without
+		// this the comparator is not a total order over obs values and the
+		// truncation below keeps an order-dependent subset.
+		return picked[a].freq > picked[b].freq
 	})
 	maxCorr := 4*s.cfg.F + 4
 	if len(picked) > maxCorr {

@@ -9,6 +9,7 @@ import (
 	"mobilecongest/internal/resilient"
 	"mobilecongest/internal/rsim"
 	"mobilecongest/internal/sketch"
+	"mobilecongest/internal/vote"
 )
 
 // --- payload replay ---
@@ -198,13 +199,7 @@ func (s *rewindSim) roundInit(nextOut map[graph.NodeID]entry, seed uint64, myHas
 	for p, v := range nbs {
 		var ws [initWords]uint64
 		for i := 0; i < initWords; i++ {
-			best, bestCnt := uint64(0), 0
-			for val, c := range votes[p][i] {
-				if c > bestCnt {
-					best, bestCnt = val, c
-				}
-			}
-			ws[i] = best
+			ws[i], _ = vote.Winner(votes[p][i])
 		}
 		result[v] = decodeInitMsg(ws[:])
 	}
@@ -289,12 +284,7 @@ func (s *rewindSim) messageCorrect(recv map[graph.NodeID]initMsg) map[graph.Node
 			}
 			votes[string(encodeFixes(items))]++
 		}
-		bestCnt, best := 0, ""
-		for v, c := range votes {
-			if c > bestCnt {
-				bestCnt, best = c, v
-			}
-		}
+		best, bestCnt := vote.Winner(votes)
 		if 2*bestCnt > k {
 			corrMsg = []byte(best)
 		} else {
@@ -429,13 +419,9 @@ func (s *rewindSim) aggregateState(goodLocal, myLen uint64) (good uint64, maxLen
 			votes[[2]uint64{congest.U64(m), congest.U64(m[8:])}]++
 		}
 	}
-	bestCnt := 0
-	var best [2]uint64
-	for v, c := range votes {
-		if c > bestCnt {
-			bestCnt, best = c, v
-		}
-	}
+	best, bestCnt := vote.WinnerFunc(votes, func(a, b [2]uint64) bool {
+		return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1])
+	})
 	if 2*bestCnt <= k {
 		// No majority: treat as a bad state (forces a conservative hold).
 		return 0, myLen + 1

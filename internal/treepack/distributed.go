@@ -144,6 +144,7 @@ func buildTreePrim(pr congest.PortRuntime, load []int, flood int) graph.NodeID {
 				// A corrupted flood candidate can name a non-neighbor; abort
 				// with the canonical error, like the map outbox used to (and
 				// never fall through desynced if a wrapper tolerates it).
+				//lint:ignore portnative deliberate abort path: the map Exchange is the canonical way to trigger the engine's non-neighbor error
 				pr.Exchange(map[graph.NodeID]congest.Msg{bestB: congest.U64Msg(0x4A4F494E)})
 				panic("treepack: invited join target is not adjacent")
 			}

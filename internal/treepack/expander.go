@@ -3,6 +3,7 @@ package treepack
 import (
 	"mobilecongest/internal/congest"
 	"mobilecongest/internal/graph"
+	"mobilecongest/internal/vote"
 )
 
 // Distributed expander tree packing (Lemma 3.10 and its padded-round
@@ -143,14 +144,7 @@ func paddedExchange(pr congest.PortRuntime, build func(out []congest.Msg), pad i
 	}
 	res := make([]congest.Msg, pr.Degree())
 	for p, cs := range counts {
-		bestCnt := 0
-		var bestMsg string
-		for m, c := range cs {
-			if c > bestCnt {
-				bestCnt = c
-				bestMsg = m
-			}
-		}
+		bestMsg, bestCnt := vote.Winner(cs)
 		if bestCnt*2 > pad {
 			res[p] = congest.Msg(bestMsg)
 		}

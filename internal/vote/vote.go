@@ -1,0 +1,40 @@
+// Package vote provides deterministic folds over vote-count maps. Majority
+// voting over repeated deliveries is the simulator's standard decoder at
+// every resilience layer (initial-state agreement, sketch recovery, padded
+// exchange), and every one of those folds ranges over a Go map — whose
+// iteration order is randomized per statement. A fold that adopts the first
+// maximum it meets therefore returns different winners on tied counts run
+// to run and across engines. The helpers here break count ties toward the
+// smallest key, making the winner a pure function of the map's contents.
+package vote
+
+import "cmp"
+
+// Winner returns the key with the highest count and that count, breaking
+// count ties toward the smallest key. The result depends only on the map's
+// contents, never on iteration order. An empty map yields the zero key and
+// a zero count.
+func Winner[K cmp.Ordered](counts map[K]int) (K, int) {
+	var best K
+	bestCnt := 0
+	for k, c := range counts {
+		if c > bestCnt || (c == bestCnt && k < best) {
+			best, bestCnt = k, c
+		}
+	}
+	return best, bestCnt
+}
+
+// WinnerFunc is Winner for key types without a natural order; less must be
+// a strict total order over the keys.
+func WinnerFunc[K comparable](counts map[K]int, less func(a, b K) bool) (K, int) {
+	var best K
+	bestCnt := 0
+	for k, c := range counts {
+		if c > bestCnt || (c == bestCnt && less(k, best)) {
+			//lint:ignore maprange less is a strict total order over the unique keys, so this adoption is a deterministic argmax the analyzer cannot see through the predicate call
+			best, bestCnt = k, c
+		}
+	}
+	return best, bestCnt
+}

@@ -1,0 +1,40 @@
+package vote
+
+import "testing"
+
+// TestWinnerTieDeterminism pins the regression behind the rewind initial
+// phase: an argmax that adopts the first maximum map iteration happens to
+// meet returns different winners on tied counts run to run. Go randomizes
+// map order per range statement, so folding a two-way tie repeatedly makes
+// a nondeterministic implementation fail with overwhelming probability.
+func TestWinnerTieDeterminism(t *testing.T) {
+	counts := map[uint64]int{7: 3, 42: 3, 5: 1}
+	for i := 0; i < 200; i++ {
+		k, c := Winner(counts)
+		if k != 7 || c != 3 {
+			t.Fatalf("iteration %d: Winner = (%d, %d), want the smallest tied key (7, 3)", i, k, c)
+		}
+	}
+}
+
+func TestWinnerBasics(t *testing.T) {
+	if k, c := Winner(map[string]int{}); k != "" || c != 0 {
+		t.Fatalf("empty map: got (%q, %d), want zero values", k, c)
+	}
+	if k, c := Winner(map[string]int{"b": 2, "a": 1}); k != "b" || c != 2 {
+		t.Fatalf("unique max: got (%q, %d), want (b, 2)", k, c)
+	}
+}
+
+func TestWinnerFuncTieDeterminism(t *testing.T) {
+	less := func(a, b [2]uint64) bool {
+		return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1])
+	}
+	counts := map[[2]uint64]int{{9, 1}: 2, {3, 8}: 2, {3, 2}: 2}
+	for i := 0; i < 200; i++ {
+		k, c := WinnerFunc(counts, less)
+		if k != ([2]uint64{3, 2}) || c != 2 {
+			t.Fatalf("iteration %d: WinnerFunc = (%v, %d), want the least tied key ([3 2], 2)", i, k, c)
+		}
+	}
+}

@@ -41,6 +41,13 @@ func BenchmarkRun(b *testing.B) {
 		{"circulant256", mc.NewCirculant(256, 4), 16, "none"},
 		{"circulant1024", mc.NewCirculant(1024, 4), 16, "none"},
 		{"expander512", resilient.RandomExpander(512, 8, 11), 16, "none"},
+		// The large-n fault-free tier is where the shard engine's
+		// parallel-for earns its keep (and the others pay goroutine-per-node
+		// or single-scheduler costs); modest round counts keep -benchtime=1x
+		// smoke runs fast.
+		{"circulant16384", mc.NewCirculant(16384, 4), 8, "none"},
+		{"circulant65536", mc.NewCirculant(65536, 4), 8, "none"},
+		{"expander8192", resilient.RandomExpander(8192, 8, 11), 8, "none"},
 		{"clique32-flip", mc.NewClique(32), 8, "flip"},
 		{"clique64-flip", mc.NewClique(64), 8, "flip"},
 		{"circulant128-flip", mc.NewCirculant(128, 2), 32, "flip"},

@@ -11,6 +11,14 @@
 //	mobilesim -run T1,F3      # run a subset
 //	mobilesim -seed 7         # change the master seed
 //	mobilesim -engine goroutine  # pick the execution engine
+//	mobilesim -engine shard -shards 4  # shard engine with a fixed shard count
+//
+// The engines are "step" (default; coroutine steps on one scheduler
+// goroutine), "goroutine" (goroutine per node), and "shard" (the step
+// engine's coroutines fanned over contiguous CSR node shards on a worker
+// pool — the engine for large n on multi-core hosts). -shards fixes the
+// shard engine's shard/worker count; 0 keeps the GOMAXPROCS default. All
+// engines produce byte-identical results for the same seed.
 //
 // Sweep mode: -sweep builds an experiment Plan (cross product of the axis
 // flags — including the protocol registry axis via -proto), fans the cells
@@ -65,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	seed := fs.Int64("seed", 42, "master random seed (sweep: base seed)")
 	engine := fs.String("engine", mc.EngineStep.Name(), "execution engine (sweep: comma-separated list)")
+	shards := fs.Int("shards", 0, "shard count for the shard engine (0 = GOMAXPROCS)")
 	sweep := fs.Bool("sweep", false, "run a parameter sweep instead of the experiment suite")
 	topo := fs.String("topo", "clique", "sweep: comma-separated topology names")
 	ns := fs.String("n", "16", "sweep: comma-separated node counts")
@@ -114,6 +123,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "protocols:   %s\n", strings.Join(mc.Protocols(), ", "))
 		fmt.Fprintf(stdout, "adversaries: %s\n", strings.Join(mc.Adversaries(), ", "))
 		return 0
+	}
+
+	if *shards < 0 {
+		fmt.Fprintln(stderr, "-shards must be >= 0")
+		return 2
+	}
+	if *shards > 0 {
+		// Re-register "shard" with the fixed count so every resolution by
+		// name — -engine here, the sweep's engine axis, experiments — uses
+		// it; restore the automatic default on the way out (run is a
+		// testable entry point, so it must not leak registry state).
+		mc.RegisterEngine(mc.NewShardEngine(*shards))
+		defer mc.RegisterEngine(mc.NewShardEngine(0))
 	}
 
 	var sink *traceSink

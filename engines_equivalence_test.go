@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"mobilecongest/internal/adversary"
@@ -18,8 +19,15 @@ import (
 // byte-identical observer-visible traces (per-round delivered messages in
 // canonical order, payloads, and corrupted edge sets), and (for
 // eavesdroppers) byte-identical adversary views. Any scheduling leak in
-// either engine — a reordered RNG draw, a miscounted round, an
+// any engine — a reordered RNG draw, a miscounted round, an
 // inbox-dependent branch — shows up here.
+//
+// Every trial additionally runs a shard-engine leg at shard counts 1, 2,
+// GOMAXPROCS, and one larger than every corpus graph, each compared
+// byte-for-byte against the goroutine baseline — the parallel engine's
+// determinism contract across shard boundaries, empty shards, and the
+// n < shards clamp. Trials that abort (budget violations, bad sends) require
+// identical error text from the shard engine too.
 //
 // Every trial additionally runs a port-vs-map protocol leg: the same
 // protocol logic written against the legacy map Exchange (exercising the
@@ -289,9 +297,21 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("%s: errors differ: goroutine=%v step=%v", label, err1, err2)
 		}
+		// Shard counts for the shard-engine leg: the degenerate single shard,
+		// a boundary-heavy split, the GOMAXPROCS default, and one count
+		// larger than every corpus graph (n <= 36 < 64), so empty shards and
+		// the clamp to n are exercised on every machine.
+		shardCounts := []int{1, 2, runtime.GOMAXPROCS(0), 64}
+
 		if err1 != nil {
 			if err1.Error() != err2.Error() {
 				t.Fatalf("%s: error text differs: %q vs %q", label, err1, err2)
+			}
+			for _, sc := range shardCounts {
+				_, _, _, serr := run(NewShardEngine(sc), fam.mk, proto)
+				if serr == nil || serr.Error() != err1.Error() {
+					t.Fatalf("%s: shard(%d) error %q, want %q", label, sc, serr, err1)
+				}
 			}
 			continue
 		}
@@ -328,11 +348,45 @@ func TestEngineEquivalenceProperty(t *testing.T) {
 			}
 		}
 
+		// Shard-engine leg: the same trial on the shard engine at several
+		// shard counts must be byte-identical to the baseline — Results,
+		// traces, and eavesdropper views. This is the tentpole determinism
+		// contract: sharding changes scheduling only.
+		for _, sc := range shardCounts {
+			sres, sadv, str, serr := run(NewShardEngine(sc), fam.mk, proto)
+			if serr != nil {
+				t.Fatalf("%s: shard(%d) leg failed: %v", label, sc, serr)
+			}
+			if sres.Stats != want.Stats {
+				t.Fatalf("%s: stats differ shard(%d):\n goroutine %+v\n shard     %+v",
+					label, sc, want.Stats, sres.Stats)
+			}
+			sout := fmt.Sprintf("%#v", sres.Outputs)
+			if sout != wout {
+				t.Fatalf("%s: outputs differ shard(%d):\n goroutine %s\n shard     %s",
+					label, sc, wout, sout)
+			}
+			strb, err := json.Marshal(str.Rounds())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(strb) != string(wtr) {
+				t.Fatalf("%s: traces differ shard(%d):\n goroutine %s\n shard     %s",
+					label, sc, wtr, strb)
+			}
+			if se, ok := sadv.(*adversary.Eavesdropper); ok {
+				we := wantAdv.(*adversary.Eavesdropper)
+				if string(se.ViewBytes()) != string(we.ViewBytes()) {
+					t.Fatalf("%s: eavesdropper views differ shard(%d) vs goroutine", label, sc)
+				}
+			}
+		}
+
 		// Port-vs-map protocol leg: the same protocol written against the
 		// legacy map Exchange (running through the engines' compat wrapper)
 		// must be indistinguishable from the port-native run — identical
-		// Results, traces, and eavesdropper views, on both engines.
-		for _, eng := range []Engine{EngineGoroutine, EngineStep} {
+		// Results, traces, and eavesdropper views, on all engines.
+		for _, eng := range []Engine{EngineGoroutine, EngineStep, EngineShard} {
 			pres, padv, ptr, perr := run(eng, fam.mk, mapProto)
 			if perr != nil {
 				t.Fatalf("%s: map-protocol leg failed on %s: %v", label, eng.Name(), perr)

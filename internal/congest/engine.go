@@ -10,7 +10,7 @@ import (
 	"mobilecongest/internal/graph"
 )
 
-// Engine executes a protocol on every node of a configured network. The two
+// Engine executes a protocol on every node of a configured network. The
 // implementations trade scheduling strategies while sharing all simulation
 // semantics (round structure, adversary budget accounting, statistics):
 //
@@ -20,12 +20,15 @@ import (
 //   - StepEngine resumes each node as a coroutine step function on a single
 //     scheduler goroutine — no channel handoffs, much less scheduler churn,
 //     and measurably faster on simulation-heavy workloads.
+//   - ShardEngine runs the step engine's coroutines as a parallel-for over
+//     contiguous CSR node shards on a persistent worker pool — the engine
+//     for large graphs on multi-core hosts.
 //
-// Both engines are deterministic given Config.Seed and MUST produce identical
+// All engines are deterministic given Config.Seed and MUST produce identical
 // Results for identical Configs; the cross-engine equivalence tests enforce
 // this.
 type Engine interface {
-	// Name is the registry key ("goroutine", "step").
+	// Name is the registry key ("goroutine", "step", "shard").
 	Name() string
 	// Run executes proto on every node of cfg.Graph.
 	Run(cfg Config, proto Protocol) (*Result, error)
@@ -37,6 +40,7 @@ var (
 	engines   = map[string]Engine{
 		GoroutineEngine{}.Name(): GoroutineEngine{},
 		StepEngine{}.Name():      StepEngine{},
+		ShardEngine{}.Name():     ShardEngine{},
 	}
 )
 
@@ -188,6 +192,7 @@ type runCore struct {
 	round     int            // completed-round counter (the engine's round clock)
 	corrupted int            // total corrupted edge-rounds, for TotalBudget enforcement
 	view      RoundView      // reusable observer view (valid only during RoundDelivered)
+	pool      *shardPool     // shard engine's worker pool; nil on the sequential engines
 }
 
 func newRunCore(rc *RunContext, cfg Config) (*runCore, error) {
@@ -261,11 +266,11 @@ func (c *runCore) collectOutbox(nc *nodeCore) error {
 	out := nc.outPending
 	nc.outPending = nil
 	if nc.badSend {
-		return fmt.Errorf("congest: node %d sent to non-neighbor %d", nc.id, nc.badTo)
+		return badSendError(nc)
 	}
 	base := c.layout.rowStart[nc.id]
 	if len(out) > int(c.layout.degree(nc.id)) {
-		return fmt.Errorf("congest: node %d sent on %d ports, degree %d", nc.id, len(out), c.layout.degree(nc.id))
+		return badDegreeError(c, nc, out)
 	}
 	for p, m := range out {
 		if m == nil {
@@ -275,6 +280,16 @@ func (c *runCore) collectOutbox(nc *nodeCore) error {
 		out[p] = nil
 	}
 	return nil
+}
+
+// The collection validation errors, shared verbatim by collectOutbox and the
+// shard engine's collectShard so every engine aborts with identical text.
+func badSendError(nc *nodeCore) error {
+	return fmt.Errorf("congest: node %d sent to non-neighbor %d", nc.id, nc.badTo)
+}
+
+func badDegreeError(c *runCore, nc *nodeCore, out []Msg) error {
+	return fmt.Errorf("congest: node %d sent on %d ports, degree %d", nc.id, len(out), c.layout.degree(nc.id))
 }
 
 // outputs gathers the per-node protocol outputs in node order.
@@ -308,7 +323,7 @@ func (c *runCore) intercept() (*roundBuffer, []graph.Edge, error) {
 	rt := c.rc.rt
 	rt.begin(c.cur)
 	c.cfg.Adversary.Intercept(c.round, rt)
-	touched, badInject := rt.settle()
+	touched, badInject := rt.settle(c.pool)
 	if c.perRound != nil && len(touched) > c.perRound.PerRoundEdges() {
 		return nil, nil, fmt.Errorf("%w: %d edges touched in round %d, budget %d",
 			ErrBudgetExceeded, len(touched), c.round, c.perRound.PerRoundEdges())
@@ -345,6 +360,14 @@ func (c *runCore) endRound() error {
 		rc.inSlab[rs] = buf.msgs[s]
 		rc.inClear = append(rc.inClear, rs)
 	}
+	c.deliverRound(buf, corrupted)
+	return nil
+}
+
+// deliverRound fires RoundDelivered on the delivered buffer and ticks the
+// round clock — the tail every engine shares, whether the port fan-in above
+// it ran sequentially (endRound) or shard-parallel (ShardEngine's gather).
+func (c *runCore) deliverRound(buf *roundBuffer, corrupted []graph.Edge) {
 	// The view is reused across rounds — observers may not retain it (see
 	// Observer.RoundDelivered), so one per run suffices.
 	c.view = RoundView{buf: buf, corrupted: corrupted}
@@ -352,7 +375,6 @@ func (c *runCore) endRound() error {
 		o.RoundDelivered(c.round, &c.view)
 	}
 	c.round++
-	return nil
 }
 
 // finish assembles the Result from the internal stats observer.

@@ -9,7 +9,9 @@ import (
 	"mobilecongest/internal/graph"
 )
 
-var allEngines = []Engine{GoroutineEngine{}, StepEngine{}}
+// The shard engine runs with an explicit multi-shard count so every forEngine
+// test exercises real shard boundaries (and the pool) even on one core.
+var allEngines = []Engine{GoroutineEngine{}, StepEngine{}, ShardEngine{Shards: 3}}
 
 // forEngine runs a subtest under every registered engine.
 func forEngine(t *testing.T, fn func(t *testing.T, e Engine)) {
@@ -20,7 +22,7 @@ func forEngine(t *testing.T, fn func(t *testing.T, e Engine)) {
 }
 
 func TestEngineByName(t *testing.T) {
-	for _, name := range []string{"goroutine", "step"} {
+	for _, name := range []string{"goroutine", "step", "shard"} {
 		e, err := EngineByName(name)
 		if err != nil || e.Name() != name {
 			t.Fatalf("EngineByName(%q) = %v, %v", name, e, err)
@@ -32,7 +34,7 @@ func TestEngineByName(t *testing.T) {
 	if _, err := EngineByName("warp"); err == nil {
 		t.Fatal("unknown engine name accepted")
 	}
-	if got := EngineNames(); !reflect.DeepEqual(got, []string{"goroutine", "step"}) {
+	if got := EngineNames(); !reflect.DeepEqual(got, []string{"goroutine", "shard", "step"}) {
 		t.Fatalf("EngineNames() = %v", got)
 	}
 }

@@ -39,6 +39,7 @@ type RoundTraffic struct {
 	undirMark []bool       // per undirected edge: already counted this round
 	undirList []int32      // touched undirected edge indices, insertion order
 	edgesOut  []graph.Edge // sorted touched edges handed to the round view
+	keep      []bool       // parallel-settle verdict per dirty index
 }
 
 func newRoundTraffic(l *edgeLayout) *RoundTraffic {
@@ -197,24 +198,59 @@ func (t *RoundTraffic) injectInvalid(de graph.DirEdge) {
 	t.invalid = append(t.invalid, de)
 }
 
+// parallelSettleMin is the dirty-set size below which the chunked overlay
+// diff is not worth the pool barrier.
+const parallelSettleMin = 32
+
 // settle diffs the adversary's overlay against the collected round. It
 // returns the touched undirected edges in sorted order (the budget unit and
 // the observers' Corrupted view) and, when the adversary injected on a
 // non-edge, the error to abort the round with — after the caller's budget
 // verdict, exactly like the legacy map path. The returned slice is scratch,
 // valid until the next round.
-func (t *RoundTraffic) settle() ([]graph.Edge, error) {
+//
+// When the shard engine hands in its pool and the dirty set is large, the
+// per-slot byte comparisons — the O(dirty · |msg|) part — run chunked over
+// the pool into a verdict array; the fold below consumes the verdicts in the
+// same dirty order the sequential path walks, so the result is byte-identical
+// regardless of pool (a nil pool always takes the sequential path).
+func (t *RoundTraffic) settle(pool *shardPool) ([]graph.Edge, error) {
 	t.changed = t.changed[:0]
 	t.undirList = t.undirList[:0]
-	for _, s := range t.dirty {
-		if msgSame(t.buf.msgs[s], t.mod[s]) {
-			continue
+	if pool != nil && pool.size > 0 && len(t.dirty) >= parallelSettleMin {
+		if cap(t.keep) < len(t.dirty) {
+			t.keep = make([]bool, len(t.dirty))
 		}
-		t.changed = append(t.changed, s)
-		u := t.buf.layout.undir[s]
-		if !t.undirMark[u] {
-			t.undirMark[u] = true
-			t.undirList = append(t.undirList, u)
+		keep, dirty, nd := t.keep[:len(t.dirty)], t.dirty, len(t.dirty)
+		shards := pool.shards()
+		pool.run(func(k int) {
+			for i := nd * k / shards; i < nd*(k+1)/shards; i++ {
+				s := dirty[i]
+				keep[i] = !msgSame(t.buf.msgs[s], t.mod[s])
+			}
+		})
+		for i, s := range t.dirty {
+			if !keep[i] {
+				continue
+			}
+			t.changed = append(t.changed, s)
+			u := t.buf.layout.undir[s]
+			if !t.undirMark[u] {
+				t.undirMark[u] = true
+				t.undirList = append(t.undirList, u)
+			}
+		}
+	} else {
+		for _, s := range t.dirty {
+			if msgSame(t.buf.msgs[s], t.mod[s]) {
+				continue
+			}
+			t.changed = append(t.changed, s)
+			u := t.buf.layout.undir[s]
+			if !t.undirMark[u] {
+				t.undirMark[u] = true
+				t.undirList = append(t.undirList, u)
+			}
 		}
 	}
 	edges := t.edgesOut[:0]

@@ -2,6 +2,8 @@ package congest
 
 import (
 	"math/rand"
+	"runtime"
+	"sort"
 
 	"mobilecongest/internal/graph"
 )
@@ -39,6 +41,16 @@ type RunContext struct {
 	outSlab []Msg
 	inSlab  []Msg
 	inClear []int32
+
+	// Shard-engine state: the parked worker pool (persists across runs so
+	// repeated runs reuse goroutines) and the per-shard scratch.
+	pool         *shardPool
+	shardCap     int       // LimitShards cap on the default shard count
+	bounds       []int32   // cached shard node boundaries for boundsShards
+	boundsShards int       // shard count bounds was computed for; 0 = stale
+	shardTouched [][]int32 // per-shard collected-slot lists
+	shardErrs    []error   // per-shard first collection error
+	shardActive  []int     // per-shard live-node counts
 }
 
 // NewRunContext returns an empty context; it binds to a graph on first use.
@@ -68,8 +80,96 @@ func (rc *RunContext) bind(g *graph.Graph) {
 	rc.inSlab = make([]Msg, rc.layout.slots())
 	rc.inClear = rc.inClear[:0]
 	rc.stats = NewStatsObserver()
+	rc.boundsShards = 0 // shard boundaries are layout-shaped
 	// rc.rngs is deliberately kept: per-node RNGs are graph-independent and
-	// re-seeded per run, so they survive rebinding.
+	// re-seeded per run, so they survive rebinding. The shard pool and the
+	// shard scratch capacities likewise survive: neither depends on the graph.
+}
+
+// Close releases the context's parked shard-pool goroutines, if any. The
+// context stays usable — a later shard-engine run simply re-creates the pool
+// — so Close is about reclaiming goroutines promptly when a worker (a
+// Plan.Stream worker, a finished sweep) retires its context. Contexts
+// abandoned without Close are covered by a GC cleanup, eventually.
+func (rc *RunContext) Close() {
+	rc.pool.close()
+	rc.pool = nil
+}
+
+// LimitShards caps the shard count a ShardEngine with the default (automatic,
+// GOMAXPROCS) shard count resolves inside this context; n <= 0 removes the
+// cap. An explicit ShardEngine.Shards is never capped. Plan.Stream sets this
+// on each of its P workers' contexts to GOMAXPROCS/P, so concurrent cells
+// divide the machine instead of oversubscribing it P-fold.
+func (rc *RunContext) LimitShards(n int) { rc.shardCap = n }
+
+// ensurePool returns the context's pool with exactly `workers` parked
+// goroutines, building or resizing it as needed. Zero workers (a
+// single-shard run) returns nil — the degenerate pool that runs phases
+// inline — and deliberately leaves any existing pool parked for the next
+// parallel run.
+func (rc *RunContext) ensurePool(workers int) *shardPool {
+	if workers <= 0 {
+		return nil
+	}
+	if rc.pool == nil || rc.pool.size != workers {
+		rc.pool.close()
+		rc.pool = newShardPool(workers)
+		// Safety net for contexts dropped without Close: when the context
+		// becomes unreachable, release the pool's goroutines. The cleanup
+		// holds the pool, not the context, so it never pins the context live.
+		runtime.AddCleanup(rc, func(p *shardPool) { p.close() }, rc.pool)
+	}
+	return rc.pool
+}
+
+// shardBounds partitions the context's nodes into `shards` contiguous ranges
+// of roughly equal slot (directed-edge) count, returning shards+1 node
+// boundaries. Balancing by slots rather than nodes keeps a skewed graph (a
+// star, a hub-heavy expander) from loading one shard with most of the edge
+// work. The boundaries are cached per (layout, shards).
+func (rc *RunContext) shardBounds(shards int) []int32 {
+	if rc.boundsShards == shards {
+		return rc.bounds
+	}
+	n := rc.g.N()
+	total := rc.layout.slots()
+	b := rc.bounds[:0]
+	b = append(b, 0)
+	for k := 1; k < shards; k++ {
+		target := int32(total * k / shards)
+		u := int32(sort.Search(n, func(u int) bool { return rc.layout.rowStart[u] >= target }))
+		if u < b[k-1] {
+			u = b[k-1]
+		}
+		b = append(b, u)
+	}
+	b = append(b, int32(n))
+	rc.bounds, rc.boundsShards = b, shards
+	return b
+}
+
+// shardScratch sizes and resets the per-shard scratch for a run: the
+// collected-slot lists keep their capacities across runs (that is what makes
+// shard rounds zero-alloc in a warm context), the error slots clear, and the
+// active counts are (re)derived from the current bounds by the caller.
+func (rc *RunContext) shardScratch(shards int) (touched [][]int32, errs []error, active []int) {
+	for len(rc.shardTouched) < shards {
+		rc.shardTouched = append(rc.shardTouched, nil)
+	}
+	for len(rc.shardErrs) < shards {
+		rc.shardErrs = append(rc.shardErrs, nil)
+	}
+	for len(rc.shardActive) < shards {
+		rc.shardActive = append(rc.shardActive, 0)
+	}
+	touched = rc.shardTouched[:shards]
+	errs = rc.shardErrs[:shards]
+	active = rc.shardActive[:shards]
+	for k := range errs {
+		errs[k] = nil
+	}
+	return touched, errs, active
 }
 
 // resetSlabs releases any payload references a previous (possibly aborted)

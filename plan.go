@@ -492,8 +492,14 @@ func runCells(ctx context.Context, workers int, cells []planCell, deliver func(i
 			defer wg.Done()
 			// One reusable run context per worker: consecutive cells on the
 			// same topology share the run's layout, buffers, and RNG
-			// allocations instead of rebuilding them per cell.
+			// allocations instead of rebuilding them per cell. Shard-engine
+			// cells divide the machine across the P workers instead of each
+			// grabbing GOMAXPROCS shards (an explicit ShardEngine.Shards
+			// still overrides); Close releases any parked shard pool when
+			// the worker retires.
 			rc := congest.NewRunContext()
+			defer rc.Close()
+			rc.LimitShards(max(1, runtime.GOMAXPROCS(0)/workers))
 			for i := range jobs {
 				runPlanCell(&cells[i], rc)
 				select {

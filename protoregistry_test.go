@@ -91,7 +91,7 @@ func registryTopologyFor(name string) (topo string, n, k int) {
 
 // TestProtocolRegistryCrossEngine is the protocol-registry leg of the
 // cross-engine equivalence contract: every registered protocol name must run
-// by name on both engines with byte-identical Results and observer traces.
+// by name on every engine with byte-identical Results and observer traces.
 // Names registered by tests (prefix "test-") are skipped.
 func TestProtocolRegistryCrossEngine(t *testing.T) {
 	for _, name := range Protocols() {
@@ -116,31 +116,36 @@ func TestProtocolRegistryCrossEngine(t *testing.T) {
 			return res, tr, err
 		}
 		want, wantTr, err1 := run("goroutine")
-		got, gotTr, err2 := run("step")
-		if err1 != nil || err2 != nil {
-			t.Fatalf("%s: goroutine err=%v step err=%v", name, err1, err2)
-		}
-		if want.Stats != got.Stats {
-			t.Fatalf("%s: stats differ across engines:\n goroutine %+v\n step      %+v", name, want.Stats, got.Stats)
+		if err1 != nil {
+			t.Fatalf("%s: goroutine err=%v", name, err1)
 		}
 		wout := fmt.Sprintf("%#v", want.Outputs)
-		gout := fmt.Sprintf("%#v", got.Outputs)
-		if wout != gout {
-			t.Fatalf("%s: outputs differ across engines:\n goroutine %s\n step      %s", name, wout, gout)
-		}
 		wtr, err := json.Marshal(wantTr.Rounds())
 		if err != nil {
 			t.Fatal(err)
 		}
-		gtr, err := json.Marshal(gotTr.Rounds())
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(wtr) != string(gtr) {
-			t.Fatalf("%s: traces differ across engines", name)
-		}
 		if len(wantTr.Rounds()) != want.Stats.Rounds {
 			t.Fatalf("%s: trace has %d rounds, stats say %d", name, len(wantTr.Rounds()), want.Stats.Rounds)
+		}
+		for _, engine := range []string{"step", "shard"} {
+			got, gotTr, err2 := run(engine)
+			if err2 != nil {
+				t.Fatalf("%s: %s err=%v", name, engine, err2)
+			}
+			if want.Stats != got.Stats {
+				t.Fatalf("%s: stats differ across engines:\n goroutine %+v\n %-9s %+v", name, want.Stats, engine, got.Stats)
+			}
+			gout := fmt.Sprintf("%#v", got.Outputs)
+			if wout != gout {
+				t.Fatalf("%s: outputs differ across engines:\n goroutine %s\n %-9s %s", name, wout, engine, gout)
+			}
+			gtr, err := json.Marshal(gotTr.Rounds())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wtr) != string(gtr) {
+				t.Fatalf("%s: traces differ between goroutine and %s", name, engine)
+			}
 		}
 	}
 }

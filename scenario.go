@@ -10,19 +10,34 @@ import (
 // Engine is the pluggable execution substrate; see congest.Engine.
 type Engine = congest.Engine
 
-// The two built-in engines. EngineStep is the default for scenarios: it runs
-// nodes as resumable coroutine steps on one scheduler goroutine, which is
-// measurably faster than the goroutine-per-node engine and produces identical
+// The three built-in engines. EngineStep is the default for scenarios: it
+// runs nodes as resumable coroutine steps on one scheduler goroutine, which
+// is measurably faster than the goroutine-per-node engine. EngineShard runs
+// the same coroutines as a parallel-for over contiguous CSR node shards
+// (GOMAXPROCS shards by default; see NewShardEngine for the knob) — the
+// engine for large graphs on multi-core hosts. All engines produce identical
 // Results (enforced by the cross-engine equivalence tests).
 var (
 	EngineGoroutine Engine = congest.GoroutineEngine{}
 	EngineStep      Engine = congest.StepEngine{}
+	EngineShard     Engine = congest.ShardEngine{}
 )
 
-// NewEngine resolves an engine by registry name ("goroutine", "step"). An
-// empty name is an error; leave the engine unset on a Scenario to get the
-// step-engine default.
+// NewEngine resolves an engine by registry name ("goroutine", "step",
+// "shard"). An empty name is an error; leave the engine unset on a Scenario
+// to get the step-engine default.
 func NewEngine(name string) (Engine, error) { return congest.EngineByName(name) }
+
+// NewShardEngine returns a shard engine with a fixed shard (worker) count;
+// shards <= 0 keeps the automatic default (GOMAXPROCS, divided down by
+// Plan.Stream across its workers). Use WithEngine to install it on a
+// scenario, or RegisterEngine to make the fixed count the registry's "shard".
+func NewShardEngine(shards int) Engine { return congest.ShardEngine{Shards: shards} }
+
+// RegisterEngine adds (or replaces) an engine in the name-keyed registry
+// used by WithEngineName, sweeps, and the CLI — the engine counterpart of
+// RegisterTopology and RegisterAdversary.
+func RegisterEngine(e Engine) { congest.RegisterEngine(e) }
 
 // EngineNames lists the registered engine names.
 func EngineNames() []string { return congest.EngineNames() }

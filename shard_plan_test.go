@@ -1,0 +1,111 @@
+package mobilecongest
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestShardPlanStreamConcurrent runs shard-engine cells concurrently under
+// Plan.Stream — multiple workers each driving a pooled parallel engine — and
+// pins that the record set is identical to the single-worker run. Under
+// -race this is the oversubscription/concurrency test for nested parallelism
+// (P workers × S shards).
+func TestShardPlanStreamConcurrent(t *testing.T) {
+	mkPlan := func(workers int) Plan {
+		return Plan{
+			Axes: []Axis{
+				TopologyAxis("circulant"),
+				NAxis(48),
+				EngineAxis("step", "shard"),
+				AdversaryAxis("none", "flip"),
+				RepsAxis(5),
+			},
+			BaseSeed: 17,
+			Workers:  workers,
+		}
+	}
+	strip := func(recs []Record) []Record {
+		out := append([]Record(nil), recs...)
+		for i := range out {
+			out[i].ElapsedMS = 0 // wall time is the one legitimately varying field
+		}
+		return out
+	}
+	want, err := mkPlan(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mkPlan(4).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(strip(want), strip(got)) {
+		t.Fatalf("records differ between 1 and 4 workers:\n want %+v\n got  %+v", want, got)
+	}
+	// The step and shard cells of each (adversary, rep) pair must agree —
+	// the equivalence contract holding inside a concurrent sweep. The engine
+	// axis is excluded from cell seeds, so matching cells share a Seed.
+	checked := 0
+	for _, r := range want {
+		if r.Engine != "shard" {
+			continue
+		}
+		for _, s := range want {
+			if s.Engine == "step" && s.Seed == r.Seed && s.Adversary == r.Adversary && s.Rep == r.Rep {
+				if s.Rounds != r.Rounds || s.Messages != r.Messages || s.Bytes != r.Bytes {
+					t.Fatalf("shard cell diverged from step cell:\n step  %+v\n shard %+v", s, r)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no shard/step cell pairs compared; the check is vacuous")
+	}
+}
+
+// TestShardPlanStreamCancelNoGoroutineLeak cancels a stream of shard-engine
+// cells mid-run and pins that everything — plan workers AND the shard pools
+// parked on their run contexts — is released: the goroutine count returns to
+// its pre-stream level.
+func TestShardPlanStreamCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	plan := Plan{
+		Axes: []Axis{
+			TopologyAxis("circulant"),
+			NAxis(64),
+			EngineAxis("shard"),
+			RepsAxis(300),
+		},
+		BaseSeed: 5,
+		Workers:  4,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	yielded := 0
+	var finalErr error
+	for _, err := range plan.Stream(ctx) {
+		if err != nil {
+			finalErr = err
+			break
+		}
+		yielded++
+		if yielded == 3 {
+			cancel()
+		}
+	}
+	if finalErr != context.Canceled {
+		t.Fatalf("stream ended with %v, want context.Canceled", finalErr)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked goroutines (workers or shard pools): before=%d after=%d",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

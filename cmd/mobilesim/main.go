@@ -28,8 +28,13 @@
 // -summary replaces the per-cell stream with post-sweep aggregates: one JSON
 // line per cell group, with mean/stddev/min/max over the -reps repetitions.
 //
+// -bandwidth adds an enforced per-edge-per-round bit-budget axis (0 =
+// unlimited); cells whose protocol oversends fail with the deterministic
+// congest bandwidth error in their record.
+//
 //	mobilesim -sweep -topo clique,circulant -n 8,16,32 -adv none,flip -f 2
 //	mobilesim -sweep -proto bfs,mstclique -topo clique -n 16,32 -reps 3
+//	mobilesim -sweep -n 32 -bandwidth 0,64,256 | jq '{name, error}'
 //	mobilesim -sweep -n 64 -engine step,goroutine -reps 5 -summary | jq .rounds.mean
 //	mobilesim -sweep -n 64 -workers 1 | jq .rounds
 //
@@ -81,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	proto := fs.String("proto", "", "sweep: comma-separated protocol registry names (empty = default floodmax workload)")
 	adv := fs.String("adv", "none", "sweep: comma-separated adversary names")
 	fstr := fs.String("f", "1", "sweep: comma-separated adversary strengths")
+	bandwidth := fs.String("bandwidth", "", "sweep: comma-separated enforced bits/edge/round budgets (0 = unlimited; empty = no bandwidth axis)")
 	reps := fs.Int("reps", 1, "sweep: repetitions per cell with distinct seeds")
 	maxRounds := fs.Int("maxrounds", 0, "sweep: per-run round limit (0 = engine default)")
 	workers := fs.Int("workers", 0, "sweep: concurrent cell runners (0 = GOMAXPROCS; 1 streams in grid order)")
@@ -98,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// in both). -list overrides both modes, so any combination with it just
 	// lists.
 	if !*list {
-		sweepOnly := map[string]bool{"topo": true, "n": true, "k": true, "proto": true, "adv": true, "f": true, "reps": true, "maxrounds": true, "workers": true, "summary": true}
+		sweepOnly := map[string]bool{"topo": true, "n": true, "k": true, "proto": true, "adv": true, "f": true, "bandwidth": true, "reps": true, "maxrounds": true, "workers": true, "summary": true}
 		conflict := ""
 		fs.Visit(func(fl *flag.Flag) {
 			switch {
@@ -147,7 +153,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *sweep {
 		code = runSweep(sweepFlags{
 			topos: *topo, ns: *ns, ks: *ks, protos: *proto, advs: *adv, fs: *fstr,
-			engines: *engine, reps: *reps, baseSeed: *seed, maxRounds: *maxRounds,
+			bandwidths: *bandwidth,
+			engines:    *engine, reps: *reps, baseSeed: *seed, maxRounds: *maxRounds,
 			workers: *workers, summary: *summary,
 		}, sink, stdout, stderr)
 	} else {
@@ -288,6 +295,7 @@ func (s *traceSink) finish() error {
 
 type sweepFlags struct {
 	topos, ns, ks, protos, advs, fs, engines string
+	bandwidths                               string
 	reps                                     int
 	baseSeed                                 int64
 	maxRounds                                int
@@ -319,8 +327,17 @@ func (sf sweepFlags) plan(sink *traceSink) (mc.Plan, error) {
 		mc.AdversaryAxis(splitNames(sf.advs)...),
 		mc.FAxis(fsList...),
 		mc.EngineAxis(splitNames(sf.engines)...),
-		mc.RepsAxis(sf.reps),
 	)
+	if sf.bandwidths != "" {
+		bwList, err := splitInts(sf.bandwidths)
+		if err != nil {
+			return mc.Plan{}, err
+		}
+		// Like the engine axis, the budget is slotted after the seed-relevant
+		// coordinates: it labels records and names but never perturbs seeds.
+		axes = append(axes, mc.BandwidthAxis(bwList...))
+	}
+	axes = append(axes, mc.RepsAxis(sf.reps))
 	plan := mc.Plan{
 		Axes:      axes,
 		BaseSeed:  sf.baseSeed,

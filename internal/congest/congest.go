@@ -11,11 +11,15 @@
 // deterministic given Config.Seed and produce identical Results.
 //
 // Internally a run moves traffic through a flat, edge-indexed round buffer
-// (see edgeLayout), and the pipeline is slot-native end to end. On the node
+// (see edgeLayout) whose payloads live in packed per-round byte arenas: each
+// slot carries an 8-byte (chunk, offset, length) reference into the arena
+// instead of an independently allocated []byte (see arena.go), so large-n
+// rounds cost a handful of amortized arena appends rather than one heap
+// object per message. The pipeline is slot-native end to end. On the node
 // side, protocols program against PortRuntime: a node's ports are its
 // neighbours in ascending order, and ExchangePorts moves the round through
-// reusable per-node []Msg slices that alias the run's round buffers — the
-// fault-free hot path allocates no per-round maps or slices at all. The map
+// reusable per-node []Msg slices resolved out of the run's round arenas —
+// the fault-free hot path allocates no per-round maps or slices at all. The map
 // Exchange survives as a compat wrapper over ports (outbox folded up front,
 // inbox map materialized lazily per call). On the adversary side the
 // boundary is likewise slot-native: adversaries read and mutate the round
@@ -42,8 +46,9 @@ import (
 
 // Msg is the payload crossing one directed edge in one round. The engine
 // records message sizes so experiments can normalize round counts to
-// B = O(log n)-bit units; it does not hard-cap sizes because the adversary
-// model corrupts whole edge-rounds regardless of size.
+// B = O(log n)-bit units; sizes are unrestricted by default because the
+// adversary model corrupts whole edge-rounds regardless of size, but a run
+// can opt into enforcing the CONGEST budget with Config.Bandwidth.
 type Msg []byte
 
 // Clone returns a copy of the message (nil stays nil).
@@ -192,6 +197,15 @@ type Config struct {
 	Inputs [][]byte
 	// Shared is the trusted preprocessing artifact visible to all nodes.
 	Shared any
+	// Bandwidth, when positive, enforces the CONGEST per-edge-per-round
+	// budget: a node sending a message larger than Bandwidth bits aborts the
+	// run at collection with an ErrBandwidthExceeded error naming the
+	// smallest offending (node, port) — deterministic and identical across
+	// engines, like the non-neighbor error. The budget binds the protocol
+	// only; adversary injections are not checked (corrupting an edge-round
+	// is the adversary's prerogative regardless of size). 0 (the default)
+	// leaves sizes unrestricted.
+	Bandwidth int
 	// Observers receive the run's round lifecycle events (see Observer).
 	// Stats are always collected internally; observers add measurement —
 	// traces, histograms, corruption logs — without touching the core.
@@ -228,6 +242,10 @@ var ErrRoundLimit = errors.New("congest: round limit exceeded")
 // ErrBudgetExceeded is returned when the adversary touches more edges than
 // its declared budget permits.
 var ErrBudgetExceeded = errors.New("congest: adversary exceeded its edge budget")
+
+// ErrBandwidthExceeded is returned when a node sends a message larger than
+// the run's Config.Bandwidth bits over one edge in one round.
+var ErrBandwidthExceeded = errors.New("congest: bandwidth exceeded")
 
 const defaultMaxRounds = 1 << 20
 

@@ -86,7 +86,9 @@ func EngineNames() []string {
 type nodeCore struct {
 	id        graph.NodeID
 	neighbors []graph.NodeID
-	rng       *rand.Rand
+	rng       *rand.Rand // nil until the protocol's first Rand call (see Rand)
+	rngSeed   int64
+	rngStore  []*rand.Rand // the context's per-node RNG cache (rc.rngs)
 	input     []byte
 	output    any
 	round     int
@@ -104,10 +106,31 @@ func (s *nodeCore) ID() graph.NodeID          { return s.id }
 func (s *nodeCore) N() int                    { return s.n }
 func (s *nodeCore) Neighbors() []graph.NodeID { return s.neighbors }
 func (s *nodeCore) Round() int                { return s.round }
-func (s *nodeCore) Rand() *rand.Rand          { return s.rng }
 func (s *nodeCore) Input() []byte             { return s.input }
 func (s *nodeCore) SetOutput(v any)           { s.output = v }
 func (s *nodeCore) Shared() any               { return s.shared }
+
+// Rand materializes the node's RNG on first use. The seed was drawn in node
+// order at run start (nodeCores), so the stream is identical to an eagerly
+// built RNG — but protocols that never draw randomness (most of the
+// fault-free hot path) skip the ~5KB rand source per node entirely, the
+// dominant setup allocation at large n. The constructed value is cached on
+// the context and re-seeded on the next run that uses it. Safe under the
+// concurrent engines: each node touches only its own rngStore slot, and run
+// boundaries order cross-run access.
+func (s *nodeCore) Rand() *rand.Rand {
+	if s.rng == nil {
+		r := s.rngStore[s.id]
+		if r == nil {
+			r = rand.New(rand.NewSource(s.rngSeed))
+			s.rngStore[s.id] = r
+		} else {
+			r.Seed(s.rngSeed)
+		}
+		s.rng = r
+	}
+	return s.rng
+}
 
 func (s *nodeCore) Degree() int                 { return len(s.neighbors) }
 func (s *nodeCore) Neighbor(p int) graph.NodeID { return s.neighbors[p] }
@@ -189,6 +212,7 @@ type runCore struct {
 	stats     *StatsObserver
 	perRound  PerRoundBudget // non-nil when the adversary declares one
 	total     TotalBudget    // non-nil when the adversary declares one
+	bwBits    int            // enforced bits/edge/round budget; 0 = unlimited
 	round     int            // completed-round counter (the engine's round clock)
 	corrupted int            // total corrupted edge-rounds, for TotalBudget enforcement
 	view      RoundView      // reusable observer view (valid only during RoundDelivered)
@@ -224,6 +248,14 @@ func newRunCore(rc *RunContext, cfg Config) (*runCore, error) {
 		observers: append([]Observer{rc.stats}, cfg.Observers...),
 		stats:     rc.stats,
 	}
+	if cfg.Bandwidth > 0 {
+		c.bwBits = cfg.Bandwidth
+		// Size the round arenas from slots × budget up front (capped — a
+		// budgeted run rarely fills every slot every round).
+		hint := min(rc.layout.slots()*((cfg.Bandwidth+7)/8), 1<<26)
+		rc.cur.arenas[0].reserve(hint)
+		rc.cur.arenas[1].reserve(hint)
+	}
 	if adv := cfg.Adversary; adv != nil {
 		// Budget and run-reset declarations live on the wrapped adversary
 		// when a compat adapter is installed.
@@ -258,10 +290,15 @@ func (c *runCore) beginRound() error {
 }
 
 // collectOutbox folds one parked node's pending port outbox into the round's
-// collection buffer, consuming (clearing) it so the node's reusable OutBuf
-// comes back empty. Port p of node u is slot rowStart[u]+p by construction.
-// It also surfaces the two per-node validation errors: a map compat Exchange
-// that addressed a non-neighbor, and a port outbox longer than the degree.
+// collection buffer (copying each payload into the round arena), consuming
+// (clearing) it so the node's reusable OutBuf comes back empty. Port p of
+// node u is slot rowStart[u]+p by construction. It also surfaces the
+// per-node validation errors: a map compat Exchange that addressed a
+// non-neighbor, a port outbox longer than the degree, and — when the run
+// declares a bandwidth budget — a message exceeding it. Ports are walked in
+// ascending order and nodes are collected in ascending order on every
+// engine, so the offender any of these errors names is deterministic: the
+// smallest (node, port) that violates.
 func (c *runCore) collectOutbox(nc *nodeCore) error {
 	out := nc.outPending
 	nc.outPending = nil
@@ -275,6 +312,9 @@ func (c *runCore) collectOutbox(nc *nodeCore) error {
 	for p, m := range out {
 		if m == nil {
 			continue
+		}
+		if c.bwBits > 0 && len(m)*8 > c.bwBits {
+			return badBandwidthError(c, nc, p, m)
 		}
 		c.cur.put(base+int32(p), m)
 		out[p] = nil
@@ -290,6 +330,11 @@ func badSendError(nc *nodeCore) error {
 
 func badDegreeError(c *runCore, nc *nodeCore, out []Msg) error {
 	return fmt.Errorf("congest: node %d sent on %d ports, degree %d", nc.id, len(out), c.layout.degree(nc.id))
+}
+
+func badBandwidthError(c *runCore, nc *nodeCore, p int, m Msg) error {
+	return fmt.Errorf("%w: node %d sent %d bits to neighbor %d, budget %d",
+		ErrBandwidthExceeded, nc.id, len(m)*8, nc.neighbors[p], c.bwBits)
 }
 
 // outputs gathers the per-node protocol outputs in node order.
@@ -357,7 +402,7 @@ func (c *runCore) endRound() error {
 	rc.inClear = rc.inClear[:0]
 	for _, s := range buf.touched {
 		rs := c.layout.revSlot[s]
-		rc.inSlab[rs] = buf.msgs[s]
+		rc.inSlab[rs] = buf.get(s)
 		rc.inClear = append(rc.inClear, rs)
 	}
 	c.deliverRound(buf, corrupted)

@@ -76,44 +76,78 @@ func (l *edgeLayout) slot(from, to graph.NodeID) int32 {
 	return l.rowStart[from] + int32(i)
 }
 
-// roundBuffer holds one round's directed traffic as a slot-indexed Msg slab.
-// A run reuses its buffers across rounds (the engine double-buffers: one for
-// collection, one for the post-adversary delivered traffic), so the per-round
-// cost is clearing the touched slots, not reallocating the round.
+// roundBuffer holds one round's directed traffic as a packed slot-indexed
+// slab: refs[s] is the (chunk, offset, length) view of slot s's payload into
+// the round's byte arena (see arena.go), zero when the edge is silent. A run
+// reuses the buffer across rounds; reset truncates rather than frees, so the
+// per-round cost is clearing the touched refs, not reallocating the round.
+//
+// Two arenas alternate by round parity: delivered inbox slices resolved in
+// round r must survive while round r+1 collects (the PortRuntime contract —
+// an inbox is valid until the node's next exchange), so round r+1 appends
+// into the other arena and only round r+2 truncates round r's bytes.
 type roundBuffer struct {
 	layout  *edgeLayout
-	msgs    []Msg   // slot-indexed; nil means the edge is silent this round
+	refs    []msgRef // slot-indexed packed payload views; 0 = silent
+	arenas  [2]msgArena
+	parity  int     // index of the arena the current round's refs resolve in
 	touched []int32 // occupied slots, insertion-ordered until sortTouched
 	sorted  bool
 	view    Traffic // cached lazy map materialization for this round
 }
 
 func newRoundBuffer(l *edgeLayout) *roundBuffer {
-	return &roundBuffer{layout: l, msgs: make([]Msg, l.slots()), sorted: true}
+	b := &roundBuffer{layout: l, refs: make([]msgRef, l.slots()), sorted: true}
+	b.ensureChunks(1)
+	return b
 }
 
-// reset clears the buffer for reuse. Occupied slots are nilled individually
-// (cheaper than wiping the slab, and it releases the protocol-allocated
-// payloads so they do not outlive their round on the engine side). The
-// cached map view is dropped, never reused: the adversary may retain it.
+// reset clears the buffer for reuse: the touched refs are zeroed
+// individually (cheaper than wiping the slab), parity flips, and the now
+// current arena is truncated — the previous round's arena stays intact for
+// inboxes still being read. The cached map view is dropped, never reused:
+// the adversary may retain it (materialize copies payloads for the same
+// reason).
 func (b *roundBuffer) reset() {
 	for _, s := range b.touched {
-		b.msgs[s] = nil
+		b.refs[s] = 0
 	}
 	b.touched = b.touched[:0]
 	b.sorted = true
 	b.view = nil
+	b.parity ^= 1
+	b.arenas[b.parity].reset()
 }
 
-// put records the non-nil message m on slot s. The engine writes each slot at
-// most once per round (outboxes are maps, and per-sender slot ranges are
-// disjoint), but double writes stay correct: the slot is tracked once.
-func (b *roundBuffer) put(s int32, m Msg) {
-	if b.msgs[s] == nil {
+// ensureChunks sizes both arenas for n concurrent writers (the shard
+// engine's shard count; sequential engines use chunk 0).
+func (b *roundBuffer) ensureChunks(n int) {
+	b.arenas[0].ensure(n)
+	b.arenas[1].ensure(n)
+}
+
+// get resolves slot s's payload out of the current round's arena: nil when
+// the slot is silent. The bytes are arena-backed and valid until the slot's
+// receiver next exchanges; callers must not retain or mutate them.
+func (b *roundBuffer) get(s int32) Msg {
+	return b.arenas[b.parity].get(b.refs[s])
+}
+
+// put records the message m on slot s, copying its bytes into the round
+// arena's chunk 0 — the sequential-writer form of putChunk. The engine
+// writes each slot at most once per round (outboxes are maps, and per-sender
+// slot ranges are disjoint), but double writes stay correct: the slot is
+// tracked once.
+func (b *roundBuffer) put(s int32, m Msg) { b.putChunk(0, s, m) }
+
+// putChunk is put appending into chunk k; distinct chunks may be written
+// concurrently (each shard collects into its own).
+func (b *roundBuffer) putChunk(k int, s int32, m Msg) {
+	if b.refs[s] == 0 {
 		b.touched = append(b.touched, s)
 		b.sorted = false
 	}
-	b.msgs[s] = m
+	b.refs[s] = b.arenas[b.parity].put(k, m)
 }
 
 // len returns the number of messages in the buffer.
@@ -128,14 +162,29 @@ func (b *roundBuffer) sortTouched() {
 }
 
 // materialize returns (and caches) the Traffic map view of the buffer — the
-// stable adversary-facing representation. Messages are shared, not copied;
-// callers must treat the map as read-only (adversaries return a modified
-// clone instead, per the Adversary contract).
+// stable adversary-facing representation. Payloads are copied out of the
+// round arena into one backing slab: legacy map adversaries may retain the
+// map past the round, and arena bytes are rewritten two rounds later.
+// Callers must still treat the map as read-only (adversaries return a
+// modified clone instead, per the Adversary contract). Off the hot path by
+// design — only the map-compat adapter and map observers call it.
 func (b *roundBuffer) materialize() Traffic {
 	if b.view == nil {
+		total := 0
+		for _, s := range b.touched {
+			total += len(b.get(s))
+		}
+		slab := make([]byte, 0, total)
 		tr := make(Traffic, len(b.touched))
 		for _, s := range b.touched {
-			tr[b.layout.dirEdges[s]] = b.msgs[s]
+			m := b.get(s)
+			if len(m) == 0 {
+				tr[b.layout.dirEdges[s]] = Msg{}
+				continue
+			}
+			start := len(slab)
+			slab = append(slab, m...)
+			tr[b.layout.dirEdges[s]] = Msg(slab[start:len(slab):len(slab)])
 		}
 		b.view = tr
 	}

@@ -96,8 +96,8 @@ func TestRoundBufferRoundTrip(t *testing.T) {
 	if b.len() != 0 {
 		t.Fatalf("len after reset = %d", b.len())
 	}
-	for s := range b.msgs {
-		if b.msgs[s] != nil {
+	for s := range b.refs {
+		if b.refs[s] != 0 {
 			t.Fatalf("slot %d not cleared", s)
 		}
 	}

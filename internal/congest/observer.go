@@ -58,7 +58,7 @@ func (v *RoundView) All() iter.Seq2[graph.DirEdge, Msg] {
 	v.buf.sortTouched()
 	return func(yield func(graph.DirEdge, Msg) bool) {
 		for _, s := range v.buf.touched {
-			if !yield(v.buf.layout.dirEdges[s], v.buf.msgs[s]) {
+			if !yield(v.buf.layout.dirEdges[s], v.buf.get(s)) {
 				return
 			}
 		}
@@ -102,7 +102,7 @@ func (o *StatsObserver) RoundDelivered(_ int, view *RoundView) {
 	}
 	o.stats.Rounds++
 	for _, s := range b.touched {
-		m := b.msgs[s]
+		m := b.get(s)
 		o.stats.Messages++
 		o.stats.Bytes += len(m)
 		if len(m) > o.stats.MaxMsgBytes {
@@ -194,12 +194,39 @@ func edgePairs(edges []graph.Edge) [][2]graph.NodeID {
 	return out
 }
 
-// CongestionObserver builds a per-edge congestion histogram: for every
+// CongestionObserver builds a per-edge congestion histogram — for every
 // undirected edge, how many directed messages were delivered over it during
-// the run — the per-edge breakdown behind Stats.MaxEdgeCongestion.
+// the run (the per-edge breakdown behind Stats.MaxEdgeCongestion) — plus a
+// per-round bandwidth record: how many bits each delivered message used
+// against the CONGEST B bits/edge/round budget (max, mean, and the count
+// exceeding BudgetBits).
 type CongestionObserver struct {
+	// BudgetBits is the bits/edge/round budget the bandwidth records count
+	// violations against; 0 counts none. It is observational only — runs
+	// that should abort on violation set Config.Bandwidth (the root
+	// package's WithBandwidth), which enforces the budget at collection, so
+	// an enforcing run never delivers a violating round for this observer to
+	// see. Set BudgetBits to measure a hypothetical budget instead.
+	BudgetBits int
+
 	g      *graph.Graph
 	counts []int
+	bw     []BandwidthRound
+}
+
+// BandwidthRound is one round's delivered-bandwidth record.
+type BandwidthRound struct {
+	Round int `json:"round"`
+	// Messages is the number of delivered directed messages.
+	Messages int `json:"messages"`
+	// MaxBits is the largest delivered message in bits (8·bytes).
+	MaxBits int `json:"max_bits"`
+	// MeanBits is the mean delivered message size in bits; 0 on a silent
+	// round.
+	MeanBits float64 `json:"mean_bits"`
+	// Violations counts delivered messages strictly exceeding BudgetBits
+	// (always 0 when BudgetBits is 0).
+	Violations int `json:"violations"`
 }
 
 // NewCongestionObserver returns an empty congestion histogram.
@@ -209,15 +236,29 @@ func NewCongestionObserver() *CongestionObserver { return &CongestionObserver{} 
 func (o *CongestionObserver) RoundStart(int) {}
 
 // RoundDelivered implements Observer.
-func (o *CongestionObserver) RoundDelivered(_ int, view *RoundView) {
+func (o *CongestionObserver) RoundDelivered(round int, view *RoundView) {
 	b := view.buf
 	if o.counts == nil {
 		o.g = b.layout.g
 		o.counts = make([]int, o.g.M())
 	}
+	rec := BandwidthRound{Round: round, Messages: len(b.touched)}
+	sumBits := 0
 	for _, s := range b.touched {
 		o.counts[b.layout.undir[s]]++
+		bits := len(b.get(s)) * 8
+		sumBits += bits
+		if bits > rec.MaxBits {
+			rec.MaxBits = bits
+		}
+		if o.BudgetBits > 0 && bits > o.BudgetBits {
+			rec.Violations++
+		}
 	}
+	if rec.Messages > 0 {
+		rec.MeanBits = float64(sumBits) / float64(rec.Messages)
+	}
+	o.bw = append(o.bw, rec)
 }
 
 // RunDone implements Observer.
@@ -235,6 +276,10 @@ func (o *CongestionObserver) PerEdge() map[graph.Edge]int {
 	}
 	return out
 }
+
+// Bandwidth returns the per-round delivered-bandwidth records, in round
+// order. Nil before any round.
+func (o *CongestionObserver) Bandwidth() []BandwidthRound { return o.bw }
 
 // Histogram returns, for each congestion value, how many edges carried
 // exactly that many directed messages. Nil before any round.

@@ -11,7 +11,7 @@ import (
 // ascending ID order, matching both Neighbors() and the CSR edgeLayout, so
 // port i of node u addresses the directed-edge slot rowStart[u]+i. Protocols
 // programmed against PortRuntime move their round through reusable []Msg
-// slices that alias the run's flat round buffers — the fault-free hot path
+// slices backed by the run's packed round arenas — the fault-free hot path
 // allocates no per-round maps at all. The map Exchange survives as a compat
 // wrapper over ports (see Runtime), mirroring how the map Traffic view
 // survives over the slot-native adversary boundary.
@@ -41,10 +41,13 @@ type PortRuntime interface {
 	// the port-native twin of Exchange.
 	//
 	// Ownership: the engine consumes out (entries are cleared during
-	// collection) and owns the returned inbox, which is only valid until the
-	// next exchange. Sent payloads are delivered by reference — a protocol
-	// must not mutate a Msg after sending it, and must not mutate received
-	// messages in place. Sending one Msg on several ports is fine.
+	// collection, and each payload's bytes are copied into the round's
+	// packed arena) and owns the returned inbox, which is only valid until
+	// the next exchange — delivered payloads are arena-backed views the
+	// engine rewrites two rounds later. A protocol must not retain or mutate
+	// received messages in place (copy what it keeps), and must not mutate a
+	// sent Msg before the exchange returns. Sending one Msg on several ports
+	// is fine.
 	ExchangePorts(out []Msg) []Msg
 }
 

@@ -132,7 +132,7 @@ func (t *RoundTraffic) Get(s int32) Msg {
 	if t.dirtyBits[s>>6]&(1<<uint(s&63)) != 0 {
 		return t.mod[s]
 	}
-	return t.buf.msgs[s]
+	return t.buf.get(s)
 }
 
 // Set overrides the message delivered on slot s this round: a corruption
@@ -177,7 +177,7 @@ func (t *RoundTraffic) All() iter.Seq2[int32, Msg] {
 	t.buf.sortTouched()
 	return func(yield func(int32, Msg) bool) {
 		for _, s := range t.buf.touched {
-			if !yield(s, t.buf.msgs[s]) {
+			if !yield(s, t.buf.get(s)) {
 				return
 			}
 		}
@@ -226,7 +226,7 @@ func (t *RoundTraffic) settle(pool *shardPool) ([]graph.Edge, error) {
 		pool.run(func(k int) {
 			for i := nd * k / shards; i < nd*(k+1)/shards; i++ {
 				s := dirty[i]
-				keep[i] = !msgSame(t.buf.msgs[s], t.mod[s])
+				keep[i] = !msgSame(t.buf.get(s), t.mod[s])
 			}
 		})
 		for i, s := range t.dirty {
@@ -242,7 +242,7 @@ func (t *RoundTraffic) settle(pool *shardPool) ([]graph.Edge, error) {
 		}
 	} else {
 		for _, s := range t.dirty {
-			if msgSame(t.buf.msgs[s], t.mod[s]) {
+			if msgSame(t.buf.get(s), t.mod[s]) {
 				continue
 			}
 			t.changed = append(t.changed, s)
@@ -298,7 +298,9 @@ func (t *RoundTraffic) settle(pool *shardPool) ([]graph.Edge, error) {
 }
 
 // apply folds the settled overlay into the round buffer, which becomes the
-// delivered round. Must follow settle (it consumes the changed list).
+// delivered round. Override payloads are copied into the round arena — the
+// adversary keeps ownership of the slices it Set. Must follow settle (it
+// consumes the changed list).
 func (t *RoundTraffic) apply() {
 	if len(t.changed) == 0 {
 		return
@@ -307,14 +309,11 @@ func (t *RoundTraffic) apply() {
 	b.view = nil // the cached map (if any) showed pre-adversary traffic
 	dropped := false
 	for _, s := range t.changed {
-		switch m := t.mod[s]; {
-		case m == nil:
-			b.msgs[s] = nil
+		if m := t.mod[s]; m == nil {
+			b.refs[s] = 0
 			dropped = true
-		case b.msgs[s] == nil:
-			b.put(s, m)
-		default:
-			b.msgs[s] = m
+		} else {
+			b.putChunk(0, s, m)
 		}
 	}
 	if dropped {
@@ -322,7 +321,7 @@ func (t *RoundTraffic) apply() {
 		// the sorted flag stays valid.
 		kept := b.touched[:0]
 		for _, s := range b.touched {
-			if b.msgs[s] != nil {
+			if b.refs[s] != 0 {
 				kept = append(kept, s)
 			}
 		}
@@ -389,7 +388,7 @@ func (ad trafficAdapter) Intercept(round int, rt *RoundTraffic) {
 			rt.injectInvalid(de)
 			continue
 		}
-		if rt.buf.msgs[s] == nil {
+		if rt.buf.refs[s] == 0 {
 			if d == nil {
 				d = Msg{}
 			}

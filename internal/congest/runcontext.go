@@ -183,9 +183,13 @@ func (rc *RunContext) resetSlabs() {
 // nodeCores (re)derives the per-node state for a run. Node randomness is
 // seeded from seed in node-index order, so every engine — and every run
 // reusing this context — hands node i the same RNG stream for the same seed.
-// The RNG values themselves are reused across runs (re-seeding resets their
-// state, including the Read position), which saves the dominant per-run
-// allocation: one ~5KB rand source per node.
+// The per-node seeds are drawn eagerly (the seeder stream must not depend on
+// which nodes use randomness) but the RNG values themselves are built
+// lazily, on the node's first Rand call: a protocol that never draws
+// randomness pays nothing for the ~5KB rand source per node — the dominant
+// setup allocation at large n. Constructed RNGs are cached in rc.rngs across
+// runs (re-seeding on next use resets their state, including the Read
+// position).
 func (rc *RunContext) nodeCores(cfg Config) []nodeCore {
 	if rc.seeder == nil {
 		rc.seeder = rand.New(rand.NewSource(cfg.Seed))
@@ -200,17 +204,12 @@ func (rc *RunContext) nodeCores(cfg Config) []nodeCore {
 		if cfg.Inputs != nil {
 			input = cfg.Inputs[i]
 		}
-		s := rc.seeder.Int63()
-		if rc.rngs[i] == nil {
-			rc.rngs[i] = rand.New(rand.NewSource(s))
-		} else {
-			rc.rngs[i].Seed(s)
-		}
 		base, end := rc.layout.rowStart[i], rc.layout.rowStart[i+1]
 		rc.cores[i] = nodeCore{
 			id:        graph.NodeID(i),
 			neighbors: rc.g.Neighbors(graph.NodeID(i)),
-			rng:       rc.rngs[i],
+			rngSeed:   rc.seeder.Int63(),
+			rngStore:  rc.rngs,
 			input:     input,
 			n:         rc.g.N(),
 			shared:    cfg.Shared,

@@ -82,6 +82,9 @@ func (e ShardEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Res
 	pool := rc.ensurePool(shards - 1)
 	core.pool = pool
 	bounds := rc.shardBounds(shards)
+	// Each shard appends collected payloads into its own arena chunk, so the
+	// parallel collection phase never contends on the round arena.
+	core.cur.ensureChunks(shards)
 	touched, errs, active := rc.shardScratch(shards)
 	for k := 0; k < shards; k++ {
 		active[k] = int(bounds[k+1] - bounds[k])
@@ -138,7 +141,7 @@ func (e ShardEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Res
 				stepped--
 				continue
 			}
-			if err := core.collectShard(s.nodeCore, &tl); err != nil {
+			if err := core.collectShard(s.nodeCore, k, &tl); err != nil {
 				errs[k] = err
 				break
 			}
@@ -156,9 +159,11 @@ func (e ShardEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Res
 	layout, buf, inSlab := core.layout, core.cur, rc.inSlab
 	gatherPhase := func(k int) {
 		lo, hi := layout.rowStart[bounds[k]], layout.rowStart[bounds[k+1]]
-		msgs, rev := buf.msgs, layout.revSlot
+		rev := layout.revSlot
 		for rs := lo; rs < hi; rs++ {
-			inSlab[rs] = msgs[rev[rs]]
+			// Resolving a packed ref may read another shard's chunk — safe:
+			// collection finished at the phase barrier, nothing writes now.
+			inSlab[rs] = buf.get(rev[rs])
 		}
 	}
 
@@ -197,10 +202,12 @@ func (e ShardEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Res
 
 // collectShard is collectOutbox for the shard engine: identical validation
 // and slot math, but slot occupancy is recorded in the shard's private list
-// instead of the shared buffer's, so shards collect concurrently into their
-// disjoint CSR ranges. The caller merges the per-shard lists in shard order,
-// which keeps the buffer's canonical ascending slot order without a sort.
-func (c *runCore) collectShard(nc *nodeCore, touched *[]int32) error {
+// instead of the shared buffer's, and payloads are copied into the shard's
+// own arena chunk, so shards collect concurrently into their disjoint CSR
+// slot ranges without contending on the arena. The caller merges the
+// per-shard lists in shard order, which keeps the buffer's canonical
+// ascending slot order without a sort.
+func (c *runCore) collectShard(nc *nodeCore, k int, touched *[]int32) error {
 	out := nc.outPending
 	nc.outPending = nil
 	if nc.badSend {
@@ -210,16 +217,19 @@ func (c *runCore) collectShard(nc *nodeCore, touched *[]int32) error {
 	if len(out) > int(c.layout.degree(nc.id)) {
 		return badDegreeError(c, nc, out)
 	}
-	msgs := c.cur.msgs
+	refs, arena := c.cur.refs, &c.cur.arenas[c.cur.parity]
 	for p, m := range out {
 		if m == nil {
 			continue
 		}
+		if c.bwBits > 0 && len(m)*8 > c.bwBits {
+			return badBandwidthError(c, nc, p, m)
+		}
 		s := base + int32(p)
-		if msgs[s] == nil {
+		if refs[s] == 0 {
 			*touched = append(*touched, s)
 		}
-		msgs[s] = m
+		refs[s] = arena.put(k, m)
 		out[p] = nil
 	}
 	return nil

@@ -44,20 +44,27 @@ func U32(b []byte) uint32 {
 // U64Msg encodes a single word as a message.
 func U64Msg(v uint64) Msg { return PutU64(nil, v) }
 
-// Words64 splits a message into 8-byte words (zero-padding the tail).
-func Words64(m Msg) []uint64 {
-	nw := (len(m) + 7) / 8
-	out := make([]uint64, nw)
-	for i := 0; i < nw; i++ {
-		end := (i + 1) * 8
-		if end > len(m) {
-			end = len(m)
-		}
-		var buf [8]byte
-		copy(buf[:], m[i*8:end])
-		out[i] = binary.BigEndian.Uint64(buf[:])
+// AppendWords64 appends the message's 8-byte words (zero-padding the tail)
+// to dst and returns the extended slice. It is the allocation-free form of
+// Words64 for hot loops: pass a reusable buffer as dst[:0] and the decode
+// reuses its backing array.
+func AppendWords64(dst []uint64, m Msg) []uint64 {
+	for len(m) >= 8 {
+		dst = append(dst, binary.BigEndian.Uint64(m))
+		m = m[8:]
 	}
-	return out
+	if len(m) > 0 {
+		var buf [8]byte
+		copy(buf[:], m)
+		dst = append(dst, binary.BigEndian.Uint64(buf[:]))
+	}
+	return dst
+}
+
+// Words64 splits a message into 8-byte words (zero-padding the tail). It
+// allocates a fresh slice per call; loops should use AppendWords64.
+func Words64(m Msg) []uint64 {
+	return AppendWords64(make([]uint64, 0, (len(m)+7)/8), m)
 }
 
 // WrappedRuntime lets a compiler present a virtual network to a payload

@@ -8,8 +8,9 @@ import (
 
 // Fuzz coverage for the wire codec: the round-trip laws PutU64/U64 and
 // PutU32/U32, the zero-padding contract on short/corrupt buffers (decoders
-// must never panic — adversaries hand protocols arbitrary bytes), and
-// Words64's exact split/pad behaviour.
+// must never panic — adversaries hand protocols arbitrary bytes),
+// Words64/AppendWords64's exact split/pad behaviour, and the packed-slot
+// codec (msgRef + msgArena) the round buffers store every payload through.
 
 func FuzzU64RoundTrip(f *testing.F) {
 	f.Add(uint64(0))
@@ -100,6 +101,96 @@ func FuzzWords64RoundTrip(f *testing.F) {
 			if b != 0 {
 				t.Fatalf("padding byte %d is %#x, want 0", i, b)
 			}
+		}
+		// AppendWords64 is the same decode: identical words, dst prefix kept,
+		// and a reused buffer round is byte-identical to the fresh one.
+		prefix := []uint64{0xdead, 0xbeef}
+		app := AppendWords64(prefix, Msg(raw))
+		if len(app) != len(prefix)+len(words) {
+			t.Fatalf("AppendWords64 appended %d words, want %d", len(app)-len(prefix), len(words))
+		}
+		if app[0] != 0xdead || app[1] != 0xbeef {
+			t.Fatalf("AppendWords64 disturbed dst prefix: %#x", app[:2])
+		}
+		for i, w := range words {
+			if app[len(prefix)+i] != w {
+				t.Fatalf("word %d: AppendWords64 %#x != Words64 %#x", i, app[len(prefix)+i], w)
+			}
+		}
+		reused := AppendWords64(app[:0], Msg(raw))
+		for i, w := range words {
+			if reused[i] != w {
+				t.Fatalf("reused-buffer word %d: %#x != %#x", i, reused[i], w)
+			}
+		}
+	})
+}
+
+// FuzzMsgRefCodec: the packed (chunk, offset, length) slot reference
+// round-trips every field within its bit budget, stays disjoint from the
+// silent (zero) and spill encodings, and the widths cover the arena's
+// documented limits.
+func FuzzMsgRefCodec(f *testing.F) {
+	f.Add(uint16(0), uint32(0), uint32(0))
+	f.Add(uint16(1), uint32(9), uint32(12))
+	f.Add(uint16(refChunkMask), uint32(refMaxOff), uint32(refMaxLen))
+	f.Fuzz(func(t *testing.T, chunk uint16, off, length uint32) {
+		c := int(chunk) & refChunkMask
+		o := int(off) & refMaxOff
+		n := int(length) & refMaxLen
+		r := packRef(c, o, n)
+		if r == 0 {
+			t.Fatal("packed ref collides with the silent encoding (0)")
+		}
+		if r&refPresent == 0 {
+			t.Fatalf("packed ref %#x missing the present bit", uint64(r))
+		}
+		if r&refSpill != 0 {
+			t.Fatalf("packed ref %#x collides with the spill encoding", uint64(r))
+		}
+		if r.chunk() != c || r.offset() != o || r.length() != n {
+			t.Fatalf("round trip (%d,%d,%d) -> (%d,%d,%d)", c, o, n, r.chunk(), r.offset(), r.length())
+		}
+	})
+}
+
+// FuzzMsgArenaRoundTrip: putting arbitrary payloads through the arena gives
+// back byte-identical views, nil and empty stay distinguishable, and views
+// resolved before later puts survive arena growth.
+func FuzzMsgArenaRoundTrip(f *testing.F) {
+	f.Add([]byte{}, []byte{1}, []byte{2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0xFF}, []byte{}, bytes.Repeat([]byte{0xA5}, 300))
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		var arena msgArena
+		arena.ensure(1)
+		payloads := [][]byte{a, b, c}
+		refs := make([]msgRef, len(payloads))
+		views := make([]Msg, len(payloads))
+		for i, p := range payloads {
+			refs[i] = arena.put(0, Msg(p))
+			views[i] = arena.get(refs[i])
+			// Views resolved now must survive every later put (growth copies).
+			for j := 0; j <= i; j++ {
+				if !bytes.Equal(views[j], payloads[j]) {
+					t.Fatalf("payload %d corrupted after put %d: %x != %x", j, i, views[j], payloads[j])
+				}
+			}
+		}
+		for i, p := range payloads {
+			got := arena.get(refs[i])
+			if !bytes.Equal(got, p) {
+				t.Fatalf("payload %d: got %x want %x", i, got, p)
+			}
+			if got == nil {
+				t.Fatalf("payload %d decoded as silent (nil), want non-nil of len %d", i, len(p))
+			}
+		}
+		if got := arena.get(0); got != nil {
+			t.Fatalf("silent ref decoded to %x, want nil", got)
+		}
+		arena.reset()
+		if got := arena.get(arena.put(0, Msg(c))); !bytes.Equal(got, c) {
+			t.Fatalf("post-reset round trip: %x != %x", got, c)
 		}
 	})
 }

@@ -22,15 +22,16 @@ import (
 // them.
 var Analyzer = &analysis.Analyzer{
 	Name: "slabretain",
-	Doc: "flags storing a slice obtained from ExchangePorts/OutBuf or a Traffic/RoundView " +
+	Doc: "flags storing a slice obtained from ExchangePorts/OutBuf/Get or a Traffic/RoundView " +
 		"view into a struct field, package-level variable, or escaping closure; the slabs " +
 		"are reused every round, so retention silently corrupts",
 	Run: run,
 }
 
 // slabMethods are the congest methods whose results alias reused round
-// buffers (All yields the buffer's Msg payloads through its iterator).
-var slabMethods = []string{"ExchangePorts", "OutBuf", "Traffic", "All"}
+// buffers (All yields the buffer's Msg payloads through its iterator, and
+// Get's payloads are views into the round's packed arena).
+var slabMethods = []string{"ExchangePorts", "OutBuf", "Traffic", "All", "Get"}
 
 // viewTypes are congest types whose values are themselves round-scoped
 // views (observer and adversary callback parameters).

@@ -34,3 +34,13 @@ func (s *stager) stage(pr congest.PortRuntime, out []congest.Msg) {
 	//lint:ignore slabretain scratch is consumed before this round's handler returns
 	s.scratch = in
 }
+
+type getSampler struct {
+	sample congest.Msg
+}
+
+func (g *getSampler) copyGet(tr *congest.RoundTraffic, slot int32) {
+	if m := tr.Get(slot); m != nil {
+		g.sample = m.Clone() // arena view copied before retention
+	}
+}

@@ -31,3 +31,18 @@ func leakClosure(pr congest.PortRuntime, out []congest.Msg) func() congest.Msg {
 	in := pr.ExchangePorts(out)
 	return func() congest.Msg { return in[0] } // want `escapes via return`
 }
+
+type sampler struct {
+	sample congest.Msg
+}
+
+func (s *sampler) retainGet(tr *congest.RoundTraffic, slot int32) {
+	m := tr.Get(slot) // an arena-backed view, rewritten two rounds later
+	s.sample = m      // want `stored in struct field`
+}
+
+var lastMsg congest.Msg
+
+func retainGetGlobal(tr *congest.RoundTraffic, slot int32) {
+	lastMsg = tr.Get(slot) // want `package-level variable`
+}

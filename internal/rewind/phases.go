@@ -179,6 +179,7 @@ func (s *rewindSim) roundInit(nextOut map[graph.NodeID]entry, seed uint64, myHas
 			votes[p][i] = make(map[uint64]int)
 		}
 	}
+	var ws []uint64
 	for r := 0; r < s.cfg.InitRep; r++ {
 		out := pr.OutBuf()
 		for p, m := range outMsgs {
@@ -189,7 +190,7 @@ func (s *rewindSim) roundInit(nextOut map[graph.NodeID]entry, seed uint64, myHas
 			if m == nil {
 				continue
 			}
-			ws := congest.Words64(m)
+			ws = congest.AppendWords64(ws[:0], m)
 			for i := 0; i < initWords && i < len(ws); i++ {
 				votes[p][i][ws[i]]++
 			}

@@ -26,8 +26,14 @@ type (
 	RoundTrace = congest.RoundTrace
 	// TraceMsg is one delivered directed message in a trace.
 	TraceMsg = congest.TraceMsg
-	// CongestionObserver builds a per-edge congestion histogram.
+	// CongestionObserver builds a per-edge congestion histogram plus
+	// per-round bandwidth records (set BudgetBits to count would-be
+	// violations observationally).
 	CongestionObserver = congest.CongestionObserver
+	// BandwidthRound is one round's bandwidth record from a
+	// CongestionObserver: message count, max/mean bits per message, and
+	// violations against the observer's BudgetBits.
+	BandwidthRound = congest.BandwidthRound
 	// CorruptionLog records the adversary's touches round by round.
 	CorruptionLog = congest.CorruptionLog
 	// CorruptionEvent is one round's corrupted edge set.

@@ -40,6 +40,7 @@ type cellSpec struct {
 	advName      string
 	advF         int
 	engName      string
+	bandwidth    int
 	rep          int
 	custom       []customSetting
 }
@@ -73,6 +74,7 @@ const (
 	axisAdversary
 	axisF
 	axisEngine
+	axisBandwidth
 	axisReps
 )
 
@@ -192,6 +194,20 @@ func EngineAxis(names ...string) Axis {
 		}
 		return nil
 	}}
+}
+
+// BandwidthAxis sweeps the enforced per-edge-per-round bit budget
+// (WithBandwidth); 0 means unlimited. Like the engine, the budget is an
+// enforcement detail: it is part of the record and the cell name, but
+// deliberately NOT of the seed derivation, so the same simulation cell sends
+// the same traffic under every budget — the axis varies only which cells
+// abort with a bandwidth violation.
+func BandwidthAxis(bits ...int) Axis {
+	vals := make([]axisValue, len(bits))
+	for i, b := range bits {
+		vals[i] = axisValue{part: fmt.Sprintf("bw=%d", b), set: func(c *cellSpec) { c.bandwidth = b }}
+	}
+	return Axis{name: "bandwidth", kind: axisBandwidth, values: vals}
 }
 
 // RepsAxis repeats every cell reps times with distinct derived seeds
@@ -368,6 +384,7 @@ func (p Plan) cells() ([]planCell, error) {
 		opts = append(opts,
 			WithAdversaryName(spec.advName, spec.advF),
 			WithEngineName(spec.engName),
+			WithBandwidth(spec.bandwidth),
 			WithSeed(seed),
 			WithMaxRounds(p.MaxRounds),
 			WithObserver(obs...),
@@ -387,6 +404,7 @@ func (p Plan) cells() ([]planCell, error) {
 				Adversary: spec.advName,
 				F:         spec.advF,
 				Engine:    spec.engName,
+				Bandwidth: spec.bandwidth,
 				Rep:       spec.rep,
 				Seed:      seed,
 			},

@@ -77,6 +77,7 @@ type Scenario struct {
 	engine    Engine
 	seed      int64
 	maxRounds int
+	bandwidth int
 	shared    any
 	inputs    [][]byte
 	observers []Observer
@@ -196,6 +197,17 @@ func WithShared(shared any) ScenarioOption {
 // WithMaxRounds bounds the run (0 keeps the engine default).
 func WithMaxRounds(r int) ScenarioOption {
 	return func(s *Scenario) { s.maxRounds = r }
+}
+
+// WithBandwidth enforces the CONGEST per-edge-per-round budget: a node
+// sending a message larger than bits bits over one edge in one round aborts
+// the run with a deterministic smallest-offender error wrapping
+// congest.ErrBandwidthExceeded, identical across engines. The budget binds
+// the protocol only — adversary corruptions are not size-checked. 0 (the
+// default) leaves message sizes unrestricted. For the paper's B = O(log n)
+// model, pass e.g. 2*bits.Len(uint(n)) worth of budget explicitly.
+func WithBandwidth(bits int) ScenarioOption {
+	return func(s *Scenario) { s.bandwidth = bits }
 }
 
 // WithInputs sets per-node protocol inputs (nil or length N).
@@ -319,6 +331,7 @@ func (s *Scenario) runIn(rc *congest.RunContext) (*Result, error) {
 		Adversary: adv,
 		Inputs:    s.inputs,
 		Shared:    shared,
+		Bandwidth: s.bandwidth,
 		Observers: s.observers,
 	}
 	var res *Result

@@ -23,6 +23,7 @@ type Record struct {
 	Adversary           string  `json:"adversary"`
 	F                   int     `json:"f"`
 	Engine              string  `json:"engine"`
+	Bandwidth           int     `json:"bandwidth,omitempty"`
 	Rep                 int     `json:"rep"`
 	Seed                int64   `json:"seed"`
 	Rounds              int     `json:"rounds"`

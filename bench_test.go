@@ -158,6 +158,50 @@ func BenchmarkPlanOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkPlanCached measures the result cache on the BenchmarkPlanOverhead
+// grid: "cold" runs every iteration against a fresh cache (full compute plus
+// insertion), "warm" replays a prefilled one — cache consult at expansion,
+// no graph, Scenario, or RunContext per cell. The warm leg is the headline:
+// it must be at least an order of magnitude under cold.
+func BenchmarkPlanCached(b *testing.B) {
+	const cells = 64
+	mkPlan := func(cache *mc.ResultCache) mc.Plan {
+		return mc.Plan{
+			Axes: []mc.Axis{
+				mc.TopologyAxis("clique"),
+				mc.NAxis(4),
+				mc.RepsAxis(cells),
+			},
+			BaseSeed: 1,
+			Cache:    cache,
+		}
+	}
+	run := func(b *testing.B, plan mc.Plan) {
+		recs, err := plan.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != cells {
+			b.Fatalf("got %d records", len(recs))
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, mkPlan(mc.NewResultCache(0)))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := mc.NewResultCache(0)
+		run(b, mkPlan(cache)) // prefill
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, mkPlan(cache))
+		}
+	})
+}
+
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := harness.Get(id)

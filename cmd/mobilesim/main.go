@@ -32,11 +32,20 @@
 // unlimited); cells whose protocol oversends fail with the deterministic
 // congest bandwidth error in their record.
 //
+// -cache reuses a persistent result cache across invocations: every cell is
+// deterministic in its (label, seed, engine, code version) address, so a
+// repeated or overlapping sweep replays previously computed records from
+// the cache directory's JSONL tier instead of recomputing them (the same
+// cache directory cmd/mobilesimd serves from). The hit/miss tally lands on
+// stderr after the sweep. Cells attached to a -trace observer always
+// recompute — a replayed record has no rounds to trace.
+//
 //	mobilesim -sweep -topo clique,circulant -n 8,16,32 -adv none,flip -f 2
 //	mobilesim -sweep -proto bfs,mstclique -topo clique -n 16,32 -reps 3
 //	mobilesim -sweep -n 32 -bandwidth 0,64,256 | jq '{name, error}'
 //	mobilesim -sweep -n 64 -engine step,goroutine -reps 5 -summary | jq .rounds.mean
 //	mobilesim -sweep -n 64 -workers 1 | jq .rounds
+//	mobilesim -sweep -n 4096 -reps 8 -cache ~/.cache/mobilesim  # 2nd run: all hits
 //
 // Trace mode: -trace out.jsonl streams every simulated round as one JSON
 // line (delivered messages with base64 payloads, plus corrupted edges and a
@@ -91,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxRounds := fs.Int("maxrounds", 0, "sweep: per-run round limit (0 = engine default)")
 	workers := fs.Int("workers", 0, "sweep: concurrent cell runners (0 = GOMAXPROCS; 1 streams in grid order)")
 	summary := fs.Bool("summary", false, "sweep: emit per-cell aggregates over reps instead of per-rep records")
+	cacheDir := fs.String("cache", "", "sweep: reuse a persistent result cache at this directory (hit tally on stderr)")
 	tracePath := fs.String("trace", "", "stream per-round traffic as JSONL to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -104,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// in both). -list overrides both modes, so any combination with it just
 	// lists.
 	if !*list {
-		sweepOnly := map[string]bool{"topo": true, "n": true, "k": true, "proto": true, "adv": true, "f": true, "bandwidth": true, "reps": true, "maxrounds": true, "workers": true, "summary": true}
+		sweepOnly := map[string]bool{"topo": true, "n": true, "k": true, "proto": true, "adv": true, "f": true, "bandwidth": true, "reps": true, "maxrounds": true, "workers": true, "summary": true, "cache": true}
 		conflict := ""
 		fs.Visit(func(fl *flag.Flag) {
 			switch {
@@ -155,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			topos: *topo, ns: *ns, ks: *ks, protos: *proto, advs: *adv, fs: *fstr,
 			bandwidths: *bandwidth,
 			engines:    *engine, reps: *reps, baseSeed: *seed, maxRounds: *maxRounds,
-			workers: *workers, summary: *summary,
+			workers: *workers, summary: *summary, cacheDir: *cacheDir,
 		}, sink, stdout, stderr)
 	} else {
 		code = runExperiments(*only, *seed, *engine, sink, stdout, stderr)
@@ -301,6 +311,7 @@ type sweepFlags struct {
 	maxRounds                                int
 	workers                                  int
 	summary                                  bool
+	cacheDir                                 string
 }
 
 // plan lowers the axis flags onto an experiment Plan, with the protocol
@@ -361,6 +372,22 @@ func runSweep(sf sweepFlags, sink *traceSink, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if sf.cacheDir != "" {
+		cache, err := mc.OpenResultCache(256<<20, sf.cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		plan.Cache = cache
+		defer func() {
+			s := cache.Stats()
+			if err := cache.Close(); err != nil {
+				fmt.Fprintf(stderr, "cache: %v\n", err)
+			}
+			fmt.Fprintf(stderr, "cache: %d hits, %d misses (%d entries, version %s)\n",
+				s.Hits, s.Misses, s.Entries, s.Version)
+		}()
 	}
 	enc := json.NewEncoder(stdout)
 	failed, total := 0, 0

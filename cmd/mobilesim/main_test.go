@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
@@ -334,5 +335,41 @@ func TestShardEngineFlag(t *testing.T) {
 
 	if _, errb, code := runCapture(t, "-shards", "-1"); code != 2 || !strings.Contains(errb, "-shards") {
 		t.Fatalf("negative -shards: code=%d stderr=%q", code, errb)
+	}
+}
+
+// TestSweepCacheReuse pins the -cache satellite: a second identical
+// invocation against the same cache directory recomputes nothing, reports
+// its hit count on stderr, and replays the first run's records byte for
+// byte (cached cells keep their original timings).
+func TestSweepCacheReuse(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-sweep", "-topo", "clique", "-n", "8,12", "-adv", "none,flip",
+		"-reps", "2", "-workers", "1", "-seed", "7", "-cache", dir}
+
+	out1, err1, code := runCapture(t, args...)
+	if code != 0 {
+		t.Fatalf("cold sweep exited %d: %s", code, err1)
+	}
+	cells := len(strings.Split(strings.TrimSpace(out1), "\n"))
+	if !strings.Contains(err1, "cache: 0 hits,") {
+		t.Fatalf("cold run should report zero hits, stderr: %q", err1)
+	}
+
+	out2, err2, code := runCapture(t, args...)
+	if code != 0 {
+		t.Fatalf("warm sweep exited %d: %s", code, err2)
+	}
+	if out2 != out1 {
+		t.Fatalf("warm replay not byte-identical:\ncold:\n%s\nwarm:\n%s", out1, out2)
+	}
+	wantTally := fmt.Sprintf("cache: %d hits, 0 misses", cells)
+	if !strings.Contains(err2, wantTally) {
+		t.Fatalf("warm run stderr %q missing %q", err2, wantTally)
+	}
+
+	// -cache without -sweep is a cross-mode conflict, like the axis flags.
+	if _, msg, code := runCapture(t, "-cache", dir); code != 2 || !strings.Contains(msg, "sweep") {
+		t.Fatalf("-cache without -sweep: code %d, msg %q", code, msg)
 	}
 }

@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	mc "mobilecongest"
+)
+
+func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postSweep(t *testing.T, url, spec string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/sweep", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func decodeRecords(t *testing.T, ndjson string) []mc.Record {
+	t.Helper()
+	var recs []mc.Record
+	sc := bufio.NewScanner(strings.NewReader(ndjson))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r mc.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+const smallSpec = `{"topologies":["clique"],"ns":[8,12],"adversaries":["none","flip"],"fs":[2],"reps":2,"base_seed":7,"workers":1}`
+
+// TestSweepStreamsPlanRecords pins the endpoint against the library: the
+// streamed NDJSON is exactly the spec's Plan.Run record set, in grid order
+// under workers:1 (timing aside).
+func TestSweepStreamsPlanRecords(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	code, body := postSweep(t, ts.URL, smallSpec)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	got := decodeRecords(t, body)
+
+	spec, err := mc.ParsePlanSpec([]byte(smallSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := spec.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		g.ElapsedMS, w.ElapsedMS = 0, 0
+		gj, _ := json.Marshal(g)
+		wj, _ := json.Marshal(w)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("record %d differs:\nserver: %s\nlocal:  %s", i, gj, wj)
+		}
+	}
+}
+
+// TestRepeatSweepServedFromCache pins the memoization contract end to end:
+// the second identical POST replays the cached records byte-for-byte —
+// including the first run's timings — and /stats reports the hits.
+func TestRepeatSweepServedFromCache(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	code, first := postSweep(t, ts.URL, smallSpec)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, first)
+	}
+	code, second := postSweep(t, ts.URL, smallSpec)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, second)
+	}
+	if first != second {
+		t.Fatalf("cached replay not byte-identical:\nfirst:  %s\nsecond: %s", first, second)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsReply
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	cells := uint64(len(decodeRecords(t, first)))
+	if stats.Cache.Hits != cells {
+		t.Fatalf("hits = %d, want %d (stats %+v)", stats.Cache.Hits, cells, stats)
+	}
+	if stats.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", stats.HitRate)
+	}
+	if stats.RecordsServed != 2*cells || stats.SweepsTotal != 2 || stats.SweepsInflight != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Latency.Count != 2 {
+		t.Fatalf("latency ring missed sweeps: %+v", stats.Latency)
+	}
+}
+
+// TestSweepRejections covers the refusal paths: bad method, malformed and
+// misnamed specs, and the cell cap.
+func TestSweepRejections(t *testing.T) {
+	_, ts := testServer(t, serverConfig{maxCells: 16})
+	if resp, err := http.Get(ts.URL + "/sweep"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /sweep = %d", resp.StatusCode)
+		}
+	}
+	for name, c := range map[string]struct {
+		spec string
+		code int
+	}{
+		"malformed":    {`{"ns":`, http.StatusBadRequest},
+		"unknown-name": {`{"topologies":["moebius"]}`, http.StatusBadRequest},
+		"p-no-proto":   {`{"ps":[3]}`, http.StatusBadRequest},
+		"too-many":     {`{"ns":[4],"reps":17}`, http.StatusRequestEntityTooLarge},
+	} {
+		t.Run(name, func(t *testing.T) {
+			code, body := postSweep(t, ts.URL, c.spec)
+			if code != c.code {
+				t.Fatalf("status %d (want %d): %s", code, c.code, body)
+			}
+		})
+	}
+}
+
+// TestAdmissionControl pins the 429 contract: a saturated server refuses
+// promptly with Retry-After, and frees capacity once sweeps release.
+func TestAdmissionControl(t *testing.T) {
+	s, ts := testServer(t, serverConfig{maxSweeps: 1, maxWorkers: 2})
+
+	// Occupy the only sweep slot.
+	granted, ok := s.admit(8)
+	if !ok {
+		t.Fatal("admit on idle server refused")
+	}
+	if granted != 2 {
+		t.Fatalf("granted %d workers, budget is 2", granted)
+	}
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(smallSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	s.release(granted, 0, time.Millisecond)
+	if code, body := postSweep(t, ts.URL, smallSpec); code != http.StatusOK {
+		t.Fatalf("POST after release = %d: %s", code, body)
+	}
+
+	// Worker budget accounting: refused sweeps must not leak workers.
+	s.mu.Lock()
+	inflight, workers := s.inflightSweeps, s.inflightWorker
+	rejected := s.sweepsRejected
+	s.mu.Unlock()
+	if inflight != 0 || workers != 0 || rejected != 1 {
+		t.Fatalf("leaked admission state: sweeps=%d workers=%d rejected=%d", inflight, workers, rejected)
+	}
+}
+
+// TestWorkerBudgetClamping: a sweep asking for more workers than the free
+// budget is clamped, not refused, and the grant is visible to the client.
+func TestWorkerBudgetClamping(t *testing.T) {
+	_, ts := testServer(t, serverConfig{maxWorkers: 3})
+	resp, err := http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"ns":[8],"workers":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Sweep-Workers"); got != "3" {
+		t.Fatalf("X-Sweep-Workers = %q, want 3", got)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientDisconnectReleases pins cancellation: a client that walks away
+// mid-stream frees its sweep slot and workers.
+func TestClientDisconnectReleases(t *testing.T) {
+	s, ts := testServer(t, serverConfig{maxSweeps: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	// A sweep big enough to still be streaming when we bail: 64 cells of
+	// circulant256 floodmax.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sweep",
+		strings.NewReader(`{"topologies":["circulant"],"ns":[256],"reps":64,"workers":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one record, then vanish.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		inflight, workers := s.inflightSweeps, s.inflightWorker
+		s.mu.Unlock()
+		if inflight == 0 && workers == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never released after disconnect: sweeps=%d workers=%d", inflight, workers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConcurrentClientsSharedCache fans 8 clients with overlapping sweeps
+// against one server and one shared cache — the race-detector leg of the
+// cache correctness satellite. Every response must decode to the right cell
+// set regardless of which client's run populated which cache entry.
+func TestConcurrentClientsSharedCache(t *testing.T) {
+	_, ts := testServer(t, serverConfig{maxSweeps: 8, maxWorkers: 8})
+	specs := [8]string{}
+	for i := range specs {
+		// Overlapping grids: all clients share the clique8/clique12 cells,
+		// half also sweep flip, half sweep n=16.
+		extra := `"ns":[8,12]`
+		if i%2 == 1 {
+			extra = `"ns":[8,12,16]`
+		}
+		adv := `"adversaries":["none"]`
+		if i%4 >= 2 {
+			adv = `"adversaries":["none","flip"]`
+		}
+		specs[i] = fmt.Sprintf(`{%s,%s,"fs":[2],"reps":2,"base_seed":7}`, extra, adv)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs))
+	for _, spec := range specs {
+		wg.Add(1)
+		go func(spec string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(spec))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			sp, _ := mc.ParsePlanSpec([]byte(spec))
+			var lines int
+			for _, l := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+				var r mc.Record
+				if err := json.Unmarshal([]byte(l), &r); err != nil {
+					errs <- fmt.Errorf("bad line %q: %v", l, err)
+					return
+				}
+				if r.Error != "" {
+					errs <- fmt.Errorf("cell %s failed: %s", r.Name, r.Error)
+					return
+				}
+				lines++
+			}
+			if lines != sp.Cells() {
+				errs <- fmt.Errorf("got %d records for %d cells", lines, sp.Cells())
+			}
+		}(spec)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package resultcache is a content-addressed cache for deterministic
+// simulation results. Every sweep cell is a pure function of its canonical
+// label, derived seed, execution engine, and the code that ran it — so a
+// result computed once never needs recomputing. The cache stores decoded
+// values in a bounded in-memory LRU tier (byte budget accounted against the
+// encoded size) and, optionally, in an append-only JSONL disk tier that
+// survives restarts; every entry is keyed under a version string derived
+// from the running build, so entries written by different code can never be
+// served as current (they are skipped on disk load and unreachable in
+// memory).
+//
+// The cache is safe for concurrent use by any number of goroutines.
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one cached result within a version: the cell's canonical
+// label (every axis "name=value" fragment plus rep and any run-shaping
+// fields the label itself does not carry, e.g. a max-rounds bound), the
+// cell's derived seed, and the engine that executed it. The cache composes
+// the full content address by appending its pinned code version.
+type Key struct {
+	Label  string
+	Seed   int64
+	Engine string
+}
+
+// fullKey is the in-memory map key: a Key under one code version.
+type fullKey struct {
+	Key
+	Version string
+}
+
+// Codec serializes values for the disk tier; the encoded size also feeds
+// the memory tier's byte accounting, so the budget tracks what the entries
+// would occupy at rest rather than Go heap shapes.
+type Codec[V any] struct {
+	Encode func(V) ([]byte, error)
+	Decode func([]byte) (V, error)
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Version     string `json:"version"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts"`
+	Evictions   uint64 `json:"evictions"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	MaxBytes    int64  `json:"max_bytes,omitempty"`
+	DiskPath    string `json:"disk_path,omitempty"`
+	DiskLoaded  int    `json:"disk_loaded,omitempty"`
+	DiskSkipped int    `json:"disk_skipped,omitempty"`
+	DiskError   string `json:"disk_error,omitempty"`
+}
+
+// entry is one resident cache entry.
+type entry[V any] struct {
+	key  fullKey
+	val  V
+	size int64
+}
+
+// entryOverhead is the fixed per-entry byte charge on top of the encoded
+// value and key strings (list element, map bucket share, struct headers).
+const entryOverhead = 96
+
+// Cache is a content-addressed result cache: a bounded in-memory LRU over
+// decoded values, optionally backed by an append-only JSONL disk tier.
+// Construct with New or Open.
+type Cache[V any] struct {
+	codec    Codec[V]
+	maxBytes int64
+
+	mu          sync.Mutex
+	version     string
+	entries     map[fullKey]*list.Element
+	lru         *list.List // front = most recently used
+	bytes       int64
+	hits        uint64
+	misses      uint64
+	puts        uint64
+	evictions   uint64
+	disk        *diskTier
+	diskLoaded  int
+	diskSkipped int
+	diskErr     error
+}
+
+// New returns a memory-only cache. maxBytes bounds the sum of encoded entry
+// sizes (plus a fixed per-entry overhead); <= 0 means unbounded. version ""
+// pins the cache to BuildVersion().
+func New[V any](maxBytes int64, version string, codec Codec[V]) *Cache[V] {
+	if version == "" {
+		version = BuildVersion()
+	}
+	return &Cache[V]{
+		codec:    codec,
+		maxBytes: maxBytes,
+		version:  version,
+		entries:  map[fullKey]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// Version returns the code version the cache currently keys under.
+func (c *Cache[V]) Version() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// SetVersion re-pins the version all subsequent Gets and Puts key under —
+// the test hook behind the "stale entries never leak across code changes"
+// contract. Entries stored under other versions stay resident until evicted
+// but can no longer be returned.
+func (c *Cache[V]) SetVersion(version string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version = version
+}
+
+// Get returns the cached value for k under the cache's pinned version.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fullKey{Key: k, Version: c.version}]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores v under k and the cache's pinned version, in memory and (when
+// a disk tier is attached) durably. Values larger than the whole byte
+// budget are not admitted. The returned error reports codec or disk-append
+// failures; the memory tier is updated regardless of disk failures, which
+// are also remembered in Stats.DiskError.
+func (c *Cache[V]) Put(k Key, v V) error {
+	data, err := c.codec.Encode(v)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	fk := fullKey{Key: k, Version: c.version}
+	size := entrySize(fk, len(data))
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return nil
+	}
+	c.insert(fk, v, size)
+	if c.disk != nil {
+		if err := c.disk.append(fk, data); err != nil {
+			if c.diskErr == nil {
+				c.diskErr = err
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// insert adds or replaces one resident entry and evicts down to the budget.
+// Callers hold c.mu.
+func (c *Cache[V]) insert(fk fullKey, v V, size int64) {
+	if el, ok := c.entries[fk]; ok {
+		e := el.Value.(*entry[V])
+		c.bytes += size - e.size
+		e.val, e.size = v, size
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[fk] = c.lru.PushFront(&entry[V]{key: fk, val: v, size: size})
+		c.bytes += size
+	}
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		e := back.Value.(*entry[V])
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+func entrySize(fk fullKey, encoded int) int64 {
+	return int64(encoded + len(fk.Label) + len(fk.Engine) + len(fk.Version) + entryOverhead)
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Version:     c.version,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Puts:        c.puts,
+		Evictions:   c.evictions,
+		Entries:     c.lru.Len(),
+		Bytes:       c.bytes,
+		MaxBytes:    c.maxBytes,
+		DiskLoaded:  c.diskLoaded,
+		DiskSkipped: c.diskSkipped,
+	}
+	if c.disk != nil {
+		s.DiskPath = c.disk.path
+	}
+	if c.diskErr != nil {
+		s.DiskError = c.diskErr.Error()
+	}
+	return s
+}
+
+// Close releases the disk tier (a no-op for memory-only caches). The cache
+// stays usable as a memory tier after Close.
+func (c *Cache[V]) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disk == nil {
+		return nil
+	}
+	err := c.disk.close()
+	c.disk = nil
+	if err == nil {
+		err = c.diskErr
+	}
+	return err
+}

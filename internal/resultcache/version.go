@@ -1,0 +1,62 @@
+package resultcache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildVersion derives the running build's cache version string, computed
+// once per process. A clean VCS-stamped build is identified by its
+// revision; anything else — dirty working trees, unstamped `go test` /
+// `go run` binaries — falls back to a hash of the executable itself, so
+// *any* code change rotates the version and stale cached results can never
+// be served by newer (or older) code. Caches constructed with an explicit
+// version string (tests, coordinated fleets) bypass this entirely.
+var BuildVersion = sync.OnceValue(func() string {
+	var mod, rev, dirty string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		mod = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+	}
+	if rev != "" && dirty == "" {
+		return "vcs:" + rev
+	}
+	if sum, err := executableHash(); err == nil {
+		return "bin:" + sum + dirty
+	}
+	if mod == "" {
+		mod = "unknown"
+	}
+	return "mod:" + mod + dirty
+})
+
+// executableHash returns a short content hash of the running binary.
+func executableHash() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8]), nil
+}

@@ -280,13 +280,29 @@ type Plan struct {
 	// once per cell with the cell's resolved graph. Nil defaults to
 	// flooding the maximum ID for diameter+1 rounds.
 	DefaultProtocol func(g *Graph) Protocol
+	// Cache, when non-nil, memoizes cell records content-addressed by the
+	// cell's canonical name (plus MaxRounds and trace capture), derived
+	// seed, engine, and the build's code version. Cached cells are resolved
+	// at expansion — no graph, Scenario, or RunContext is touched — and
+	// yielded through the normal worker pipeline, preserving Run's
+	// deterministic order and Stream's cancellation semantics; freshly
+	// computed error-free records are inserted. Cells whose behavior the
+	// content address cannot identify — per-cell Observers, VaryFunc custom
+	// axes, a DefaultProtocol closure — always run. One cache may back any
+	// number of concurrent Plans; see NewResultCache / OpenResultCache.
+	Cache *ResultCache
 }
 
-// planCell is one expanded plan point.
+// planCell is one expanded plan point. A nil scenario marks a cell resolved
+// from the cache at expansion: its record is already final and the workers
+// just deliver it. cacheKey is non-empty when the freshly computed record
+// should be inserted after the run.
 type planCell struct {
 	rec      Record
 	scenario *Scenario
 	trace    *TraceObserver // non-nil when the plan captures traces
+	cache    *ResultCache
+	cacheKey string
 }
 
 // topoCache shares one built graph (and its lazily-computed default
@@ -341,6 +357,36 @@ func (p Plan) cells() ([]planCell, error) {
 
 	var expand func(axis int, spec cellSpec) error
 	assemble := func(spec cellSpec) error {
+		simLabel := strings.Join(simParts, ",")
+		label := strings.Join(allParts, ",")
+		seed := CellSeed(p.BaseSeed, simLabel, spec.rep)
+		name := fmt.Sprintf("%s,rep=%d", label, spec.rep)
+
+		// Cache consult comes first: a hit resolves the cell from its record
+		// alone — no topology build, no Scenario, and later no RunContext.
+		// Only cells whose behavior the content address fully identifies are
+		// eligible: per-cell Observers watch rounds a replay never executes,
+		// and VaryFunc/DefaultProtocol closures are code the label cannot
+		// name. The cell name carries every axis fragment plus the rep;
+		// MaxRounds and trace capture shape the record without appearing in
+		// it, so they extend the key, and the engine (absent from default
+		// cells' names) is its own key component.
+		var cacheKey string
+		if p.Cache != nil && p.Observers == nil && len(spec.custom) == 0 &&
+			(spec.protoName != "" || p.DefaultProtocol == nil) {
+			cacheKey = name
+			if p.MaxRounds != 0 {
+				cacheKey = fmt.Sprintf("%s,maxrounds=%d", cacheKey, p.MaxRounds)
+			}
+			if p.CaptureTrace {
+				cacheKey += ",trace"
+			}
+			if rec, ok := p.Cache.get(cacheKey, seed, spec.engName); ok {
+				cells = append(cells, planCell{rec: rec})
+				return nil
+			}
+		}
+
 		key := fmt.Sprintf("%s/%d/%d", spec.topoName, spec.topoN, spec.topoK)
 		tc := graphs[key]
 		if tc == nil {
@@ -351,10 +397,6 @@ func (p Plan) cells() ([]planCell, error) {
 			tc = &topoCache{g: g}
 			graphs[key] = tc
 		}
-		simLabel := strings.Join(simParts, ",")
-		label := strings.Join(allParts, ",")
-		seed := CellSeed(p.BaseSeed, simLabel, spec.rep)
-		name := fmt.Sprintf("%s,rep=%d", label, spec.rep)
 
 		// Observers are per-run state, so every cell gets its own instances.
 		var obs []Observer
@@ -410,6 +452,8 @@ func (p Plan) cells() ([]planCell, error) {
 			},
 			scenario: s,
 			trace:    tr,
+			cache:    p.Cache,
+			cacheKey: cacheKey,
 		})
 		return nil
 	}
@@ -450,7 +494,13 @@ func (p Plan) cells() ([]planCell, error) {
 
 // runPlanCell executes one cell inside the worker's reusable run context and
 // folds the outcome into its record; failures are recorded, never fatal.
+// Cells resolved from the cache at expansion (nil scenario) are already
+// final — their record keeps the elapsed time of the run that filled the
+// cache, so a warm replay is byte-identical to the cold sweep it mirrors.
 func runPlanCell(c *planCell, rc *congest.RunContext) {
+	if c.scenario == nil {
+		return
+	}
 	start := time.Now()
 	res, err := c.scenario.runIn(rc)
 	c.rec.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -466,6 +516,9 @@ func runPlanCell(c *planCell, rc *congest.RunContext) {
 	c.rec.CorruptedEdgeRounds = res.Stats.CorruptedEdgeRounds
 	if c.trace != nil {
 		c.rec.Trace = c.trace.Rounds()
+	}
+	if c.cache != nil && c.cacheKey != "" {
+		c.cache.put(c.cacheKey, c.rec.Seed, c.rec.Engine, c.rec)
 	}
 }
 

@@ -1,17 +1,24 @@
-// Command mobilevet runs the mobilecongest lint suite: five analyzers that
+// Command mobilevet runs the mobilecongest lint suite: eight analyzers that
 // machine-check the simulator's correctness invariants (seed-determinism,
-// slab ownership, map-iteration folds, the port-native boundary, and the
-// observer read-only contract).
+// slab ownership, map-iteration folds, the port-native boundary, the
+// observer read-only contract, shard-worker write isolation, hot-path
+// allocation freedom, and arena parity lifetimes).
 //
 // Standalone:
 //
 //	mobilevet ./...              # lint packages under the current module
 //	mobilevet -detrand=false ./internal/rewind
+//	mobilevet -json ./...        # machine-readable findings on stdout
 //
 // As a go vet tool (includes _test.go files in the load, though the
 // analyzers themselves skip test code):
 //
 //	go vet -vettool=$(command -v mobilevet) ./...
+//
+// Cross-package facts (hotalloc's hotpath marks) flow through per-package
+// fact files: in-process runs propagate them in dependency order straight
+// from the go list -deps load; under go vet they serialize into the vetx
+// files the go command schedules and caches.
 //
 // Findings suppress with an annotated, reasoned directive on or above the
 // offending line:
@@ -32,11 +39,12 @@ import (
 
 	"mobilecongest/internal/lint"
 	"mobilecongest/internal/lint/analysis"
+	"mobilecongest/internal/lint/lintutil"
 )
 
 // version is the tool identity `go vet -vettool` caches against; bump when
 // analyzer behavior changes so stale vet caches invalidate.
-const version = "v6"
+const version = "v7"
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -58,6 +66,7 @@ func run(args []string) int {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+doc)
 	}
 	jsonFlags := fs.Bool("flags", false, "print the tool's flags as JSON and exit (go vet protocol)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message/suppressed) on stdout")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: mobilevet [flags] <packages>\n       go vet -vettool=$(command -v mobilevet) <packages>\n\n")
 		fs.PrintDefaults()
@@ -85,7 +94,7 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	return standalone(rest, active)
+	return standalone(rest, active, *jsonOut)
 }
 
 // printFlags implements the `-flags` half of the go vet tool protocol: a
@@ -113,8 +122,21 @@ func printFlags(fs *flag.FlagSet) int {
 	return 0
 }
 
-// standalone loads patterns through the go list driver and lints them.
-func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+// jsonFinding is the machine-readable finding shape -json emits: enough for
+// CI to place inline annotations without re-parsing the text form.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// standalone loads patterns through the go list driver and lints them. The
+// exit status reflects only active (unsuppressed) findings; -json output
+// additionally carries the suppressed ones so tooling can audit directives.
+func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mobilevet:", err)
@@ -130,13 +152,38 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "mobilevet:", err)
 		return 2
 	}
-	for _, f := range findings {
-		if rel, err := filepath.Rel(cwd, f.Posn.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			f.Posn.Filename = rel
+	rel := func(name string) string {
+		if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
-		fmt.Println(f)
+		return name
 	}
-	if len(findings) > 0 {
+	active := analysis.Active(findings)
+	if jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:       rel(f.Posn.Filename),
+				Line:       f.Posn.Line,
+				Col:        f.Posn.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mobilevet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range active {
+			f.Posn.Filename = rel(f.Posn.Filename)
+			fmt.Println(f)
+		}
+	}
+	if len(active) > 0 {
 		return 1
 	}
 	return 0
@@ -154,13 +201,27 @@ type vetConfig struct {
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
-// unitcheck lints the single package described by a go vet .cfg file.
+// modulePrefix scopes fact computation under go vet: only packages of this
+// module can carry mobilevet facts, so dependency (VetxOnly) runs over
+// anything else — the stdlib — write an empty fact file and return.
+const modulePrefix = "mobilecongest"
+
+// inModule reports whether an import path belongs to this module.
+func inModule(path string) bool {
+	base := lintutil.BasePkgPath(path)
+	return base == modulePrefix || strings.HasPrefix(base, modulePrefix+"/")
+}
+
+// unitcheck lints the single package described by a go vet .cfg file,
+// reading dependency facts from the vetx files the go command scheduled and
+// writing this package's facts to VetxOutput.
 func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -173,16 +234,41 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		return 2
 	}
 
-	// The suite exports no cross-package facts, but the go command still
-	// expects the facts file to exist for caching.
-	if cfg.VetxOutput != "" {
+	factful := false
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			factful = true
+		}
+	}
+	if cfg.VetxOnly && (!factful || !inModule(cfg.ImportPath)) {
+		// Nothing to compute: facts live only on module packages. The go
+		// command still expects the vetx file to exist for caching.
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, "mobilevet:", err)
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
+	}
+
+	// Decode dependency facts. Only module packages ever export any, so
+	// skip the stdlib's empty files.
+	registry := analysis.FactRegistry(analyzers)
+	store := analysis.NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		if !inModule(path) {
+			continue
+		}
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mobilevet:", err)
+			return 2
+		}
+		set, err := analysis.DecodeFactSet(raw, registry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobilevet: %s: %v\n", file, err)
+			return 2
+		}
+		store.Set(path, set)
 	}
 
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -212,15 +298,30 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "mobilevet:", err)
 		return 2
 	}
-	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
+	pkg.FactsOnly = cfg.VetxOnly
+	findings, err := analysis.RunPackage(pkg, analyzers, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mobilevet:", err)
 		return 2
 	}
-	for _, f := range findings {
+	if cfg.VetxOutput != "" {
+		var encoded []byte
+		if set := analysis.PackageFacts(store, pkg.Types.Path()); set != nil {
+			if encoded, err = set.Encode(); err != nil {
+				fmt.Fprintln(os.Stderr, "mobilevet:", err)
+				return 2
+			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, encoded, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "mobilevet:", err)
+			return 2
+		}
+	}
+	active := analysis.Active(findings)
+	for _, f := range active {
 		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Posn, f.Message, f.Analyzer)
 	}
-	if len(findings) > 0 {
+	if len(active) > 0 {
 		return 1
 	}
 	return 0

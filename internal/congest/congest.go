@@ -52,6 +52,8 @@ import (
 type Msg []byte
 
 // Clone returns a copy of the message (nil stays nil).
+//
+//mobilevet:coldpath an explicit copy; callers opt into the allocation
 func (m Msg) Clone() Msg {
 	if m == nil {
 		return nil

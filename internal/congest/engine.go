@@ -278,8 +278,11 @@ func (c *runCore) newNodeCores() []nodeCore {
 // fires RoundStart. When every node terminates during the subsequent
 // collection the round is abandoned, so a run's final RoundStart may have no
 // matching RoundDelivered — identically in both engines.
+//
+//mobilevet:hotpath
 func (c *runCore) beginRound() error {
 	if c.round >= c.maxRounds {
+		//lint:ignore hotalloc round-limit abort; allocates only as the run ends
 		return fmt.Errorf("%w (limit %d)", ErrRoundLimit, c.maxRounds)
 	}
 	c.cur.reset()
@@ -324,14 +327,18 @@ func (c *runCore) collectOutbox(nc *nodeCore) error {
 
 // The collection validation errors, shared verbatim by collectOutbox and the
 // shard engine's collectShard so every engine aborts with identical text.
+//
+//mobilevet:coldpath abort path; a run allocates here at most once, while failing
 func badSendError(nc *nodeCore) error {
 	return fmt.Errorf("congest: node %d sent to non-neighbor %d", nc.id, nc.badTo)
 }
 
+//mobilevet:coldpath abort path; a run allocates here at most once, while failing
 func badDegreeError(c *runCore, nc *nodeCore, out []Msg) error {
 	return fmt.Errorf("congest: node %d sent on %d ports, degree %d", nc.id, len(out), c.layout.degree(nc.id))
 }
 
+//mobilevet:coldpath abort path; a run allocates here at most once, while failing
 func badBandwidthError(c *runCore, nc *nodeCore, p int, m Msg) error {
 	return fmt.Errorf("%w: node %d sent %d bits to neighbor %d, budget %d",
 		ErrBandwidthExceeded, nc.id, len(m)*8, nc.neighbors[p], c.bwBits)
@@ -346,25 +353,36 @@ func outputs(cores []nodeCore) []any {
 	return out
 }
 
-// intercept runs the adversary over the round's traffic and enforces its
-// declared budgets, returning the buffer holding the delivered traffic. The
-// adversary sees the slot-native RoundTraffic view over the flat collection
-// buffer and writes its corruptions into the view's reusable overlay; settle
-// then diffs the overlay against the buffer — the buffer IS the pre-intercept
-// snapshot — so the adversarial path allocates neither a per-round map nor a
-// deep clone, and an adversary Setting a slot back to its original bytes is
-// accounted exactly like one that never touched it. Ordering matters here:
-// the per-round budget is checked on this round's touched set BEFORE it is
-// folded into the total edge-round count, and both checks abort only on
-// strictly exceeding the budget — an adversary landing exactly on its
-// TotalBudget is within its rights and must complete the run with
-// CorruptedEdgeRounds equal to the budget. A non-edge injection (possible
-// only through the map-compat adapter) aborts after the budget verdict, as
-// the legacy map path did.
+// intercept runs the adversary boundary for the round: fault-free runs pass
+// the collection buffer straight through; runs with an adversary take the
+// interceptAdversary path. Split so the fault-free head stays on the
+// hot-path allocation gate while the adversarial tail — whose budget-verdict
+// errors allocate by design — sits behind the coldpath barrier.
 func (c *runCore) intercept() (*roundBuffer, []graph.Edge, error) {
 	if c.cfg.Adversary == nil {
 		return c.cur, nil, nil
 	}
+	return c.interceptAdversary()
+}
+
+// interceptAdversary runs the adversary over the round's traffic and enforces
+// its declared budgets, returning the buffer holding the delivered traffic.
+// The adversary sees the slot-native RoundTraffic view over the flat
+// collection buffer and writes its corruptions into the view's reusable
+// overlay; settle then diffs the overlay against the buffer — the buffer IS
+// the pre-intercept snapshot — so the adversarial path allocates neither a
+// per-round map nor a deep clone, and an adversary Setting a slot back to its
+// original bytes is accounted exactly like one that never touched it.
+// Ordering matters here: the per-round budget is checked on this round's
+// touched set BEFORE it is folded into the total edge-round count, and both
+// checks abort only on strictly exceeding the budget — an adversary landing
+// exactly on its TotalBudget is within its rights and must complete the run
+// with CorruptedEdgeRounds equal to the budget. A non-edge injection
+// (possible only through the map-compat adapter) aborts after the budget
+// verdict, as the legacy map path did.
+//
+//mobilevet:coldpath adversarial boundary; fault-free rounds return before it
+func (c *runCore) interceptAdversary() (*roundBuffer, []graph.Edge, error) {
 	rt := c.rc.rt
 	rt.begin(c.cur)
 	c.cfg.Adversary.Intercept(c.round, rt)
@@ -389,6 +407,8 @@ func (c *runCore) intercept() (*roundBuffer, []graph.Edge, error) {
 // budget enforcement, port fan-in (the delivered message on slot (u,v) lands
 // in v's port inbox, which is the reverse slot of the in slab — no maps, no
 // allocation), observer notification, and the round clock tick.
+//
+//mobilevet:hotpath
 func (c *runCore) endRound() error {
 	buf, corrupted, err := c.intercept()
 	if err != nil {

@@ -36,6 +36,9 @@ type goroutineNode struct {
 
 var _ PortRuntime = (*goroutineNode)(nil)
 
+// ExchangePorts implements the round barrier over the park/deliver channels.
+//
+//mobilevet:hotpath
 func (s *goroutineNode) ExchangePorts(out []Msg) []Msg {
 	s.outPending = out
 	select {
@@ -118,22 +121,10 @@ func (GoroutineEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *R
 			abortAll()
 			return nil, err
 		}
-		// Collect the round's outboxes; a node either exchanges or
-		// terminates this round.
-		for i, s := range nodes {
-			if !active[i] {
-				continue
-			}
-			select {
-			case <-s.parkCh:
-				if err := core.collectOutbox(s.nodeCore); err != nil {
-					abortAll()
-					return nil, err
-				}
-			case <-s.doneCh:
-				active[i] = false
-				nActive--
-			}
+		nActive, err = core.goroutineRound(nodes, active, nActive)
+		if err != nil {
+			abortAll()
+			return nil, err
 		}
 		if nActive == 0 {
 			break
@@ -151,4 +142,27 @@ func (GoroutineEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *R
 	}
 
 	return core.finish(outputs(cores)), nil
+}
+
+// goroutineRound is the goroutine engine's collection phase: receive each
+// live node's park (collecting its outbox) or its termination. Returns the
+// updated live-node count; on error the caller aborts the remaining nodes.
+//
+//mobilevet:hotpath
+func (c *runCore) goroutineRound(nodes []*goroutineNode, active []bool, nActive int) (int, error) {
+	for i, s := range nodes {
+		if !active[i] {
+			continue
+		}
+		select {
+		case <-s.parkCh:
+			if err := c.collectOutbox(s.nodeCore); err != nil {
+				return nActive, err
+			}
+		case <-s.doneCh:
+			active[i] = false
+			nActive--
+		}
+	}
+	return nActive, nil
 }

@@ -98,6 +98,7 @@ func (o *StatsObserver) RoundStart(int) {}
 func (o *StatsObserver) RoundDelivered(_ int, view *RoundView) {
 	b := view.buf
 	if o.edgeCong == nil {
+		//lint:ignore hotalloc one-time lazy init, amortized over the run
 		o.edgeCong = make([]int32, b.layout.g.M())
 	}
 	o.stats.Rounds++
@@ -161,6 +162,8 @@ func NewTraceObserver() *TraceObserver { return &TraceObserver{} }
 func (o *TraceObserver) RoundStart(int) {}
 
 // RoundDelivered implements Observer.
+//
+//mobilevet:coldpath tracing observer; attaching it opts into per-round capture allocations
 func (o *TraceObserver) RoundDelivered(round int, view *RoundView) {
 	rt := RoundTrace{
 		Round:     round,
@@ -236,6 +239,8 @@ func NewCongestionObserver() *CongestionObserver { return &CongestionObserver{} 
 func (o *CongestionObserver) RoundStart(int) {}
 
 // RoundDelivered implements Observer.
+//
+//mobilevet:coldpath diagnostics observer; attaching it opts into per-round record allocations
 func (o *CongestionObserver) RoundDelivered(round int, view *RoundView) {
 	b := view.buf
 	if o.counts == nil {
@@ -315,6 +320,8 @@ func NewCorruptionLog() *CorruptionLog { return &CorruptionLog{} }
 func (o *CorruptionLog) RoundStart(int) {}
 
 // RoundDelivered implements Observer.
+//
+//mobilevet:coldpath allocates only on adversarial rounds, which the log exists to record
 func (o *CorruptionLog) RoundDelivered(round int, view *RoundView) {
 	if len(view.corrupted) == 0 {
 		return
@@ -370,6 +377,8 @@ type jsonlDone struct {
 func (o *JSONLTrace) RoundStart(int) {}
 
 // RoundDelivered implements Observer.
+//
+//mobilevet:coldpath streaming trace observer; JSON encoding allocates by nature
 func (o *JSONLTrace) RoundDelivered(round int, view *RoundView) {
 	line := jsonlRound{Scenario: o.label, RoundTrace: RoundTrace{
 		Round:     round,

@@ -119,53 +119,19 @@ func (e ShardEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Res
 		}
 	}()
 
-	// computePhase steps shard k's live nodes to their next exchange (or to
-	// termination) and collects their outboxes. Within a shard, node order is
-	// ascending and ports are ascending, so the shard's slot list comes out
-	// sorted; shard slot ranges are themselves ascending, so the coordinator's
-	// merge in shard order rebuilds the canonical global order without a sort.
-	// The first collection error aborts the shard, leaving its remaining
-	// nodes un-stepped — the same nodes the step engine would not have
-	// reached; the coordinator surfaces the lowest shard's error, which is
-	// the lowest node's, matching the sequential engines.
-	computePhase := func(k int) {
-		tl := touched[k][:0]
-		stepped := active[k]
-		for u := bounds[k]; u < bounds[k+1]; u++ {
-			s := &nodes[u]
-			if s.done {
-				continue
-			}
-			if _, alive := s.next(); !alive {
-				s.done = true
-				stepped--
-				continue
-			}
-			if err := core.collectShard(s.nodeCore, k, &tl); err != nil {
-				errs[k] = err
-				break
-			}
-		}
-		touched[k] = tl
-		active[k] = stepped
+	sr := &shardRun{
+		core:    core,
+		nodes:   nodes,
+		bounds:  bounds,
+		touched: touched,
+		errs:    errs,
+		active:  active,
+		inSlab:  rc.inSlab,
 	}
-
-	// gatherPhase is the delivery fan-in for shard k's receivers: for every
-	// in-slot of the shard's node range, mirror the delivered buffer through
-	// revSlot. Unlike the sequential engines' O(delivered) inClear walk this
-	// rewrites the whole range — silent edges are re-nilled rather than
-	// remembered — trading O(slots/shards) writes for having no shared
-	// clear-list to contend on. inClear stays empty for the whole run.
-	layout, buf, inSlab := core.layout, core.cur, rc.inSlab
-	gatherPhase := func(k int) {
-		lo, hi := layout.rowStart[bounds[k]], layout.rowStart[bounds[k+1]]
-		rev := layout.revSlot
-		for rs := lo; rs < hi; rs++ {
-			// Resolving a packed ref may read another shard's chunk — safe:
-			// collection finished at the phase barrier, nothing writes now.
-			inSlab[rs] = buf.get(rev[rs])
-		}
-	}
+	// Bind the phase method values once: a method value allocates its
+	// closure, so binding inside the loop would cost two allocs per round.
+	computePhase := sr.computePhase
+	gatherPhase := sr.gatherPhase
 
 	nActive := n
 	for nActive > 0 {
@@ -174,6 +140,7 @@ func (e ShardEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Res
 		}
 		pool.run(computePhase)
 		nActive = 0
+		buf := core.cur
 		for k := 0; k < shards; k++ {
 			if errs[k] != nil {
 				return nil, errs[k]
@@ -198,6 +165,72 @@ func (e ShardEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Res
 	}
 
 	return core.finish(outputs(cores)), nil
+}
+
+// shardRun carries one shard-engine run's phase state so the phase bodies
+// are named methods — entry points the shardsafe and hotalloc analyzers see
+// — rather than anonymous closures. All slices are shard-indexed or
+// CSR-partitioned; each worker k touches only its own slots.
+type shardRun struct {
+	core    *runCore
+	nodes   []stepNode
+	bounds  []int32
+	touched [][]int32
+	errs    []error
+	active  []int
+	inSlab  []Msg
+}
+
+// computePhase steps shard k's live nodes to their next exchange (or to
+// termination) and collects their outboxes. Within a shard, node order is
+// ascending and ports are ascending, so the shard's slot list comes out
+// sorted; shard slot ranges are themselves ascending, so the coordinator's
+// merge in shard order rebuilds the canonical global order without a sort.
+// The first collection error aborts the shard, leaving its remaining
+// nodes un-stepped — the same nodes the step engine would not have
+// reached; the coordinator surfaces the lowest shard's error, which is
+// the lowest node's, matching the sequential engines.
+//
+//mobilevet:hotpath
+func (sr *shardRun) computePhase(k int) {
+	tl := sr.touched[k][:0]
+	stepped := sr.active[k]
+	for u := sr.bounds[k]; u < sr.bounds[k+1]; u++ {
+		s := &sr.nodes[u]
+		if s.done {
+			continue
+		}
+		if _, alive := s.next(); !alive {
+			s.done = true
+			stepped--
+			continue
+		}
+		if err := sr.core.collectShard(s.nodeCore, k, &tl); err != nil {
+			sr.errs[k] = err
+			break
+		}
+	}
+	sr.touched[k] = tl
+	sr.active[k] = stepped
+}
+
+// gatherPhase is the delivery fan-in for shard k's receivers: for every
+// in-slot of the shard's node range, mirror the delivered buffer through
+// revSlot. Unlike the sequential engines' O(delivered) inClear walk this
+// rewrites the whole range — silent edges are re-nilled rather than
+// remembered — trading O(slots/shards) writes for having no shared
+// clear-list to contend on. inClear stays empty for the whole run.
+//
+//mobilevet:hotpath
+func (sr *shardRun) gatherPhase(k int) {
+	layout, buf := sr.core.layout, sr.core.cur
+	lo, hi := layout.rowStart[sr.bounds[k]], layout.rowStart[sr.bounds[k+1]]
+	rev := layout.revSlot
+	for rs := lo; rs < hi; rs++ {
+		// Resolving a packed ref may read another shard's chunk — safe:
+		// collection finished at the phase barrier, nothing writes now.
+		sr.inSlab[rs] = buf.get(rev[rs])
+	}
 }
 
 // collectShard is collectOutbox for the shard engine: identical validation

@@ -33,6 +33,9 @@ type stepNode struct {
 
 var _ PortRuntime = (*stepNode)(nil)
 
+// ExchangePorts implements the round barrier by parking the coroutine.
+//
+//mobilevet:hotpath
 func (s *stepNode) ExchangePorts(out []Msg) []Msg {
 	s.outPending = out
 	// yield returns false when the scheduler stopped the coroutine (abort or
@@ -98,21 +101,9 @@ func (StepEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Result
 		if err := core.beginRound(); err != nil {
 			return nil, err
 		}
-		// Step each node to its next exchange (parking its outbox) or to
-		// termination — same node order as the goroutine engine's collection
-		// loop, so the collection buffer fills in ascending slot order.
-		for _, s := range nodes {
-			if s.done {
-				continue
-			}
-			if _, alive := s.next(); !alive {
-				s.done = true
-				nActive--
-				continue
-			}
-			if err := core.collectOutbox(s.nodeCore); err != nil {
-				return nil, err
-			}
+		nActive, err = core.stepRound(nodes, nActive)
+		if err != nil {
+			return nil, err
 		}
 		if nActive == 0 {
 			break
@@ -123,4 +114,27 @@ func (StepEngine) RunIn(rc *RunContext, cfg Config, proto Protocol) (res *Result
 	}
 
 	return core.finish(outputs(cores)), nil
+}
+
+// stepRound is the step engine's compute+collect phase: step each node to its
+// next exchange (parking its outbox) or to termination — same node order as
+// the goroutine engine's collection loop, so the collection buffer fills in
+// ascending slot order. Returns the updated live-node count.
+//
+//mobilevet:hotpath
+func (c *runCore) stepRound(nodes []*stepNode, nActive int) (int, error) {
+	for _, s := range nodes {
+		if s.done {
+			continue
+		}
+		if _, alive := s.next(); !alive {
+			s.done = true
+			nActive--
+			continue
+		}
+		if err := c.collectOutbox(s.nodeCore); err != nil {
+			return nActive, err
+		}
+	}
+	return nActive, nil
 }

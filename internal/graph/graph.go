@@ -78,9 +78,13 @@ func New(n int) *Graph {
 }
 
 // N returns the number of nodes.
+//
+//mobilevet:hotpath
 func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
+//
+//mobilevet:hotpath
 func (g *Graph) M() int { return len(g.edges) }
 
 // Edges returns the edge list (do not mutate).

@@ -33,6 +33,11 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+
+	// FactsOnly marks an in-module dependency loaded solely so
+	// fact-exporting analyzers can run over it before its dependents;
+	// diagnostics from such packages are discarded.
+	FactsOnly bool
 }
 
 // listPackage is the subset of `go list -json` output the loader reads.
@@ -43,6 +48,7 @@ type listPackage struct {
 	GoFiles    []string
 	CgoFiles   []string
 	DepOnly    bool
+	Standard   bool
 	Error      *struct{ Err string }
 }
 
@@ -63,9 +69,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 
+	// go list -deps emits every package after its dependencies, so keeping
+	// its order gives analyzers their fact-propagation order for free.
 	dec := json.NewDecoder(&stdout)
 	exports := make(map[string]string)
-	var targets []*listPackage
+	var listed []*listPackage
 	for {
 		var p listPackage
 		if err := dec.Decode(&p); err == io.EOF {
@@ -79,10 +87,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
-			q := p
-			targets = append(targets, &q)
-		}
+		q := p
+		listed = append(listed, &q)
 	}
 
 	fset := token.NewFileSet()
@@ -96,7 +102,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
 	var pkgs []*Package
-	for _, p := range targets {
+	for _, p := range listed {
+		if p.DepOnly && p.Standard {
+			continue // stdlib: export data suffices, no facts to compute
+		}
 		var paths []string
 		for _, gf := range append(p.GoFiles, p.CgoFiles...) {
 			if filepath.IsAbs(gf) {
@@ -109,6 +118,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = p.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

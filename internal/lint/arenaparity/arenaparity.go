@@ -1,0 +1,260 @@
+// Package arenaparity defines an analyzer extending slabretain's taint to
+// loop-carried flow. The inbox ExchangePorts returns (and the payloads
+// RoundTraffic.Get exposes) are views into a parity double-buffered arena:
+// the bytes stay valid through the NEXT round's collection — which is what
+// makes same-round forwarding into the outbox safe — and are rewritten two
+// rounds later. A view that survives the enclosing round body therefore
+// reads rewritten bytes: a variable declared outside the round loop and
+// assigned a view inside it, or a container accumulated across iterations,
+// is a diagnostic. Struct-field and package-level retention is slabretain's
+// half of the contract.
+//
+// A loop is a round loop when its body calls ExchangePorts — that is the
+// call that advances rounds. Two patterns are exempt: assigning the
+// acquisition call's own result to an outer variable (`in =
+// pr.ExchangePorts(out)`, the canonical reuse), and writing views into the
+// outbox slice passed to ExchangePorts (the engine copies payloads out of
+// it at collection, within the parity window).
+package arenaparity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobilecongest/internal/lint/analysis"
+	"mobilecongest/internal/lint/lintutil"
+)
+
+// Analyzer flags arena-backed views that outlive their round loop body.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenaparity",
+	Doc: "flags arena-backed views (ExchangePorts inboxes, Get payloads) stored into variables or " +
+		"containers that survive the enclosing round loop body; parity double-buffering rewrites " +
+		"the bytes two rounds later — copy the payload instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if lintutil.IsCongest(pass.Pkg.Path()) {
+		return nil // the engine owns the arenas; parity is its invariant to keep
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// The outbox objects: slices this function hands to ExchangePorts.
+	// Writes into them are same-round sends the engine copies out.
+	outbox := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !lintutil.IsCongestMethod(info, call, "ExchangePorts") || len(call.Args) == 0 {
+			return true
+		}
+		if id := lintutil.RootIdent(call.Args[0]); id != nil {
+			if obj := lintutil.ObjOf(info, id); obj != nil {
+				outbox[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Analyze every round loop. Loops are visited outermost-first by
+	// Inspect; each is analyzed independently against its own body, so a
+	// view bound inside a nested round loop and stored between the two
+	// loops is the inner loop's finding.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			return true
+		}
+		if !containsExchange(info, body) {
+			return true
+		}
+		checkLoop(pass, n, body, outbox)
+		return true
+	})
+}
+
+// containsExchange reports whether the block calls ExchangePorts — the
+// round-advancing call.
+func containsExchange(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && lintutil.IsCongestMethod(info, call, "ExchangePorts") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkLoop taints the views acquired inside one round loop and flags
+// stores that let them survive the loop body.
+func checkLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt, outbox map[types.Object]bool) {
+	info := pass.TypesInfo
+	c := &checker{pass: pass, taint: make(map[types.Object]bool)}
+
+	// Fixpoint: seed from acquisition calls, propagate through locals and
+	// range bindings anywhere in the loop body.
+	for {
+		before := len(c.taint)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, rhs := range s.Rhs {
+					if !isAcquisition(info, rhs) && !c.tainted(rhs) {
+						continue
+					}
+					if id, ok := s.Lhs[i].(*ast.Ident); ok {
+						if obj := lintutil.ObjOf(info, id); obj != nil {
+							c.taint[obj] = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if !c.tainted(s.X) {
+					return true
+				}
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := lintutil.ObjOf(info, id); obj != nil {
+							c.taint[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if len(c.taint) == before {
+			break
+		}
+	}
+
+	// Flag pass.
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != len(s.Rhs) {
+			return true
+		}
+		for i, rhs := range s.Rhs {
+			if isAcquisition(info, rhs) {
+				continue // `in = pr.ExchangePorts(out)`: the canonical reuse
+			}
+			if !c.tainted(rhs) {
+				continue
+			}
+			c.checkStore(s.Lhs[i], rhs, loop, outbox)
+		}
+		return true
+	})
+}
+
+// isAcquisition reports whether e is itself an arena-view-producing call.
+func isAcquisition(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && lintutil.IsCongestMethod(info, call, "ExchangePorts", "Get")
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	taint map[types.Object]bool
+}
+
+// tainted reports whether e evaluates to (or aliases) an arena-backed view
+// acquired in this round loop.
+func (c *checker) tainted(e ast.Expr) bool {
+	info := c.pass.TypesInfo
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return c.tainted(x.X)
+	case *ast.SliceExpr:
+		return c.tainted(x.X)
+	case *ast.UnaryExpr:
+		return c.tainted(x.X)
+	case *ast.CallExpr:
+		if isAcquisition(info, e) {
+			return true
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				// The result aliases the first argument's backing array;
+				// later arguments copy IN — but without ... the copies are
+				// slice headers that still point at the arena.
+				if c.tainted(x.Args[0]) {
+					return true
+				}
+				if x.Ellipsis == token.NoPos {
+					for _, a := range x.Args[1:] {
+						if c.tainted(a) {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+	default:
+		if root := lintutil.RootIdent(e); root != nil {
+			if obj := lintutil.ObjOf(info, root); obj != nil {
+				return c.taint[obj]
+			}
+		}
+		return false
+	}
+}
+
+// checkStore flags a tainted store whose destination outlives the loop.
+func (c *checker) checkStore(lhs, rhs ast.Expr, loop ast.Node, outbox map[types.Object]bool) {
+	info := c.pass.TypesInfo
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := lintutil.ObjOf(info, l)
+		if obj == nil || lintutil.DeclaredWithin(obj, loop) {
+			return
+		}
+		if lintutil.IsPkgLevel(obj, c.pass.Pkg) {
+			return // slabretain's finding
+		}
+		c.pass.Reportf(rhs.Pos(), "arena-backed view carried across rounds in %s; parity double-buffering rewrites its bytes two rounds later — copy the payload (append(dst[:0], m...))", l.Name)
+	case *ast.IndexExpr, *ast.StarExpr:
+		root := lintutil.RootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := lintutil.ObjOf(info, root)
+		if obj == nil || outbox[obj] || lintutil.DeclaredWithin(obj, loop) {
+			return
+		}
+		if lintutil.IsPkgLevel(obj, c.pass.Pkg) {
+			return // slabretain's finding
+		}
+		c.pass.Reportf(rhs.Pos(), "arena-backed view stored across rounds in %s; parity double-buffering rewrites its bytes two rounds later — copy the payload", root.Name)
+	}
+	// Field stores (SelectorExpr) are slabretain's finding.
+}

@@ -1,0 +1,12 @@
+package arenaparity_test
+
+import (
+	"testing"
+
+	"mobilecongest/internal/lint/analysis/analysistest"
+	"mobilecongest/internal/lint/arenaparity"
+)
+
+func TestArenaparity(t *testing.T) {
+	analysistest.Run(t, "testdata/src", arenaparity.Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,506 @@
+// Package hotalloc defines an analyzer that turns the runtime AllocsPerRun
+// pins into a repo-wide static gate: every function transitively reachable
+// from a //mobilevet:hotpath root (the engines' per-round fault-free loops)
+// must be free of alloc-inducing constructs — make, growing append, map
+// and slice literals, interface boxing, fmt and friends, capturing
+// closures.
+//
+// Reachability crosses package boundaries through an exported HotPathFact:
+// when a hot function dispatches through an interface, the interface's
+// method object is marked hot and the fact travels with the interface's
+// package, so any later-analyzed package implementing it gets its
+// implementation pulled into the hot set. A //mobilevet:coldpath <reason>
+// directive is the explicit barrier for paths that are reachable but
+// deliberately allocate (the adversary boundary, trace observers); the
+// reason is mandatory.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mobilecongest/internal/lint/analysis"
+	"mobilecongest/internal/lint/lintutil"
+)
+
+// HotPathFact marks a function (or interface method) as reachable from a
+// //mobilevet:hotpath root; dependent packages import it to extend the
+// reachability closure across package boundaries.
+type HotPathFact struct{}
+
+func (*HotPathFact) AFact() {}
+
+// Analyzer flags alloc-inducing constructs in functions reachable from
+// //mobilevet:hotpath roots.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags make/append-grow/map-literal/interface-boxing/fmt/capturing-closure constructs in " +
+		"functions transitively reachable from a //mobilevet:hotpath root; the fault-free round " +
+		"path must not allocate (see the AllocsPerRun pins)",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(HotPathFact)},
+}
+
+// modulePrefix scopes the fact-completeness check: calls from hot code into
+// other packages of this module must target functions the fact store
+// already covers.
+const modulePrefix = "mobilecongest"
+
+func inModule(path string) bool {
+	base := lintutil.BasePkgPath(path)
+	return base == modulePrefix || strings.HasPrefix(base, modulePrefix+"/")
+}
+
+func run(pass *analysis.Pass) error {
+	g := lintutil.NewCallGraph(pass.Fset, pass.Files, pass.TypesInfo)
+
+	// Directive scan: hotpath roots and coldpath barriers.
+	roots := make([]*types.Func, 0, 4)
+	cold := make(map[*types.Func]bool)
+	for _, fn := range g.Funcs() {
+		decl := g.Decl(fn)
+		if _, ok := lintutil.FuncDirective(decl, "hotpath"); ok {
+			roots = append(roots, fn)
+		}
+		if reason, ok := lintutil.FuncDirective(decl, "coldpath"); ok {
+			if reason == "" {
+				pass.Reportf(decl.Pos(), "malformed //mobilevet:coldpath directive: a reason is required")
+			}
+			cold[fn] = true
+		}
+	}
+
+	// Facts from dependencies seed further roots: implementations of hot
+	// interface methods, declared here, run on the hot path of whoever
+	// holds the interface value.
+	for _, of := range pass.AllObjectFacts() {
+		fn, ok := of.Obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if _, ok := of.Fact.(*HotPathFact); !ok {
+			continue
+		}
+		if fn.Pkg() == pass.Pkg {
+			continue // our own exports from a prior analyzer run; none yet
+		}
+		if lintutil.IsInterfaceMethod(fn) {
+			roots = append(roots, lintutil.Implementations(pass.Pkg, fn)...)
+		}
+	}
+
+	// Reachability closure over static calls, taken function values, and
+	// same-package interface dispatch. Cold functions absorb: they are
+	// reachable but stop propagation and are not checked.
+	hasFact := func(fn *types.Func) bool {
+		var f HotPathFact
+		return pass.ImportObjectFact(fn, &f)
+	}
+	expand := func(fn *types.Func) []*types.Func {
+		var out []*types.Func
+		for _, callee := range g.Callees(fn) {
+			if !lintutil.IsInterfaceMethod(callee) {
+				continue
+			}
+			if callee.Pkg() == pass.Pkg || hasFact(callee) {
+				out = append(out, callee)
+				out = append(out, lintutil.Implementations(pass.Pkg, callee)...)
+			}
+		}
+		return out
+	}
+	liveRoots := roots[:0]
+	for _, r := range roots {
+		if !cold[r] {
+			liveRoots = append(liveRoots, r)
+		}
+	}
+	hot := make(map[*types.Func]bool)
+	frontier := append([]*types.Func(nil), liveRoots...)
+	for len(frontier) > 0 {
+		fn := frontier[0]
+		frontier = frontier[1:]
+		if hot[fn] || cold[fn] {
+			continue
+		}
+		if fn.Pkg() != pass.Pkg {
+			continue // dependency functions answer to their own package's run
+		}
+		hot[fn] = true
+		if g.Decl(fn) == nil {
+			continue // no body here (interface method, test-file decl)
+		}
+		frontier = append(frontier, g.Callees(fn)...)
+		frontier = append(frontier, g.ValuesTaken(fn)...)
+		frontier = append(frontier, expand(fn)...)
+	}
+
+	// Export facts on every hot package-level function and method so
+	// dependents inherit the closure.
+	for fn := range hot {
+		if analysis.ObjectKey(fn) != "" {
+			pass.ExportObjectFact(fn, &HotPathFact{})
+		}
+	}
+
+	// Check bodies, and enforce fact completeness on cross-package calls.
+	for _, fn := range g.Funcs() {
+		if !hot[fn] {
+			continue
+		}
+		checkBody(pass, g, fn, cold, hasFact)
+	}
+	return nil
+}
+
+// checkBody flags the alloc-inducing constructs in one hot function.
+func checkBody(pass *analysis.Pass, g *lintutil.CallGraph, fn *types.Func, cold map[*types.Func]bool, hasFact func(*types.Func) bool) {
+	info := pass.TypesInfo
+	body := g.Decl(fn).Body
+
+	// Appends writing back over their own first argument reuse warm
+	// capacity — the repo's slab idiom — and are exempt. The comparison is
+	// by access path (object, then fields/derefs, index positions erased),
+	// with one local-aliasing step resolved so
+	// `c := a.chunks[k]; a.chunks[k] = append(c, m...)` stays exempt.
+	var rawPath func(e ast.Expr) string
+	rawPath = func(e ast.Expr) string {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := lintutil.ObjOf(info, x)
+			if obj == nil {
+				return ""
+			}
+			return fmt.Sprintf("o%d", obj.Pos())
+		case *ast.ParenExpr:
+			return rawPath(x.X)
+		case *ast.SelectorExpr:
+			if b := rawPath(x.X); b != "" {
+				return b + "." + x.Sel.Name
+			}
+		case *ast.IndexExpr:
+			if b := rawPath(x.X); b != "" {
+				return b + "[]"
+			}
+		case *ast.SliceExpr:
+			return rawPath(x.X)
+		case *ast.StarExpr:
+			if b := rawPath(x.X); b != "" {
+				return b + "*"
+			}
+		}
+		return ""
+	}
+	alias := make(map[string]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || s.Tok != token.DEFINE || len(s.Lhs) != len(s.Rhs) {
+			return true
+		}
+		for i, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if p := rawPath(s.Rhs[i]); p != "" {
+					if obj := info.Defs[id]; obj != nil {
+						alias[fmt.Sprintf("o%d", obj.Pos())] = p
+					}
+				}
+			}
+		}
+		return true
+	})
+	path := func(e ast.Expr) string {
+		// Resolve a leading local alias one step: when the path's base
+		// identifier was defined from another path, substitute it.
+		p := rawPath(e)
+		if p == "" {
+			return ""
+		}
+		base, rest, hasRest := strings.Cut(p, ".")
+		if target, ok := alias[base]; ok {
+			if hasRest {
+				return target + "." + rest
+			}
+			return target
+		}
+		return p
+	}
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != len(s.Rhs) {
+			return true
+		}
+		for i, rhs := range s.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			dst, src := path(s.Lhs[i]), path(call.Args[0])
+			if dst != "" && dst == src {
+				selfAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	// Identifiers in call-operator position (calls, not values).
+	callIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callIdents[fun] = true
+			case *ast.SelectorExpr:
+				callIdents[fun.Sel] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, g, x, selfAppend, cold, hasFact)
+		case *ast.CompositeLit:
+			switch info.Types[x].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(x.Pos(), "hot path: map literal allocates; preallocate in setup and reuse")
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "hot path: slice literal allocates; preallocate in setup and reuse")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "hot path: address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesOutside(info, x) {
+				pass.Reportf(x.Pos(), "hot path: capturing closure allocates; bind it once in setup and reuse the value")
+			}
+		case *ast.SelectorExpr:
+			if callIdents[x.Sel] {
+				return true
+			}
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				pass.Reportf(x.Pos(), "hot path: method value allocates a closure; bind it once in setup")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t := info.Types[x].Type; t != nil && isString(t) {
+					pass.Reportf(x.Pos(), "hot path: string concatenation allocates")
+				}
+			}
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "hot path: go statement allocates a goroutine per round; use a persistent worker")
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				lt := info.Types[x.Lhs[i]].Type
+				if lt == nil {
+					if id, ok := x.Lhs[i].(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							lt = obj.Type()
+						}
+					}
+				}
+				checkBoxing(pass, info, lt, rhs)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating calls: make/new, growing appends, allocating
+// stdlib entry points, conversions that copy, boxing arguments, and — the
+// fact-completeness rule — calls into module packages the hotpath closure
+// has not covered.
+func checkCall(pass *analysis.Pass, g *lintutil.CallGraph, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool, cold map[*types.Func]bool, hasFact func(*types.Func) bool) {
+	info := pass.TypesInfo
+	switch {
+	case isBuiltin(info, call, "make"):
+		pass.Reportf(call.Pos(), "hot path: make allocates; preallocate in setup and reuse")
+		return
+	case isBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "hot path: new allocates; preallocate in setup and reuse")
+		return
+	case isBuiltin(info, call, "append"):
+		if !selfAppend[call] {
+			pass.Reportf(call.Pos(), "hot path: append into a different slice may grow; write back over the source (x = append(x, ...)) or preallocate")
+		}
+		return
+	}
+
+	// Conversions: T(x) where the operator is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.Types[call.Args[0]].Type
+		if src != nil {
+			switch {
+			case isString(dst) && isByteOrRuneSlice(src):
+				pass.Reportf(call.Pos(), "hot path: string conversion copies and allocates")
+			case isByteOrRuneSlice(dst) && isString(src):
+				pass.Reportf(call.Pos(), "hot path: byte-slice conversion copies and allocates")
+			default:
+				checkBoxing(pass, info, dst, call.Args[0])
+			}
+		}
+		return
+	}
+
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil {
+		return // call through a function value; covered where the value was built
+	}
+	if path, why := allocCallee(fn); why != "" {
+		pass.Reportf(call.Pos(), "hot path: %s.%s %s", path, fn.Name(), why)
+		return
+	}
+
+	// Boxing at the call boundary: concrete non-pointer values passed to
+	// interface parameters.
+	if sig, ok := fn.Type().(*types.Signature); ok && !sig.Variadic() {
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			checkBoxing(pass, info, sig.Params().At(i).Type(), call.Args[i])
+		}
+	}
+
+	// Fact completeness: hot execution entering a module package must land
+	// on functions that package's analysis knew were hot.
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg && inModule(fn.Pkg().Path()) {
+		if !lintutil.IsInterfaceMethod(fn) && !hasFact(fn) {
+			pass.Reportf(call.Pos(), "hot path: call into %s.%s, which carries no hotpath fact; annotate it //mobilevet:hotpath (or a caller with //mobilevet:coldpath) so its body is checked", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}
+
+// checkBoxing flags a concrete, non-pointer-shaped value converted or
+// assigned to an interface type — the conversion heap-allocates the value.
+func checkBoxing(pass *analysis.Pass, info *types.Info, dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	if _, ok := dst.(*types.TypeParam); ok {
+		return // a type parameter's underlying is its constraint; instantiation does not box
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	st := tv.Type
+	if types.IsInterface(st) || isPointerShaped(st) {
+		return
+	}
+	pass.Reportf(src.Pos(), "hot path: %s boxes into %s and allocates; pass a pointer or restructure", st, dst)
+}
+
+// allocCallee reports stdlib callees that allocate by contract. The list is
+// deliberately tight: entries are functions the engine hot path must never
+// call, not a general escape analysis.
+func allocCallee(fn *types.Func) (path, why string) {
+	if fn.Pkg() == nil {
+		return "", ""
+	}
+	path = fn.Pkg().Path()
+	switch path {
+	case "fmt":
+		return path, "formats and allocates"
+	case "encoding/json":
+		return path, "reflects and allocates"
+	case "errors":
+		if fn.Name() == "New" {
+			return path, "allocates an error value"
+		}
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable":
+			return path, "boxes its argument and allocates"
+		}
+	case "slices":
+		if fn.Name() == "Clone" {
+			return path, "clones and allocates"
+		}
+	case "maps":
+		if fn.Name() == "Clone" {
+			return path, "clones and allocates"
+		}
+	case "strconv":
+		if strings.HasPrefix(fn.Name(), "Format") || strings.HasPrefix(fn.Name(), "Quote") || strings.HasPrefix(fn.Name(), "Append") || fn.Name() == "Itoa" {
+			if strings.HasPrefix(fn.Name(), "Append") {
+				return "", "" // append-style writes into a caller buffer
+			}
+			return path, "builds a string and allocates"
+		}
+	}
+	return "", ""
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// capturesOutside reports whether the function literal references a
+// variable declared outside itself but inside some enclosing function —
+// the captures that force a heap-allocated closure.
+func capturesOutside(info *types.Info, fl *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if lintutil.IsPkgLevel(v, v.Pkg()) {
+			return true // package vars need no capture slot
+		}
+		if !lintutil.DeclaredWithin(v, fl) {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// isPointerShaped reports whether values of t fit in a pointer word and box
+// into interfaces without allocating.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}

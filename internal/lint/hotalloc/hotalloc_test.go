@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"mobilecongest/internal/lint/analysis/analysistest"
+	"mobilecongest/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src", hotalloc.Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,69 @@
+// Fixture: the sanctioned hot-path idioms — warm-capacity appends, plain
+// struct values, pointer-shaped interface passing, coldpath barriers for
+// deliberately allocating branches, and a reasoned suppression.
+package clean
+
+import "strconv"
+
+type ring struct {
+	buf     []int
+	scratch []byte
+	lazy    []int
+	out     writer
+}
+
+type writer interface {
+	write(p *ring)
+}
+
+// round: everything here is alloc-free or explicitly sanctioned.
+//
+//mobilevet:hotpath
+func (r *ring) round(vals []int) {
+	// Self-append reuses warm capacity.
+	r.buf = r.buf[:0]
+	for _, v := range vals {
+		r.buf = append(r.buf, v)
+	}
+	// One aliasing step: still a self-append.
+	c := r.buf
+	r.buf = append(c, len(vals))
+	// Plain struct values and arrays stay on the stack.
+	p := pair{1, 2}
+	var window [4]int
+	window[0] = p.a
+	// Append-style strconv writes into the caller's buffer.
+	r.scratch = strconv.AppendInt(r.scratch[:0], int64(p.b), 10)
+	// Pointer-shaped values box for free.
+	r.out.write(r)
+	r.trace(vals)
+	if r.lazy == nil {
+		//lint:ignore hotalloc one-time lazy init, amortized over the run
+		r.lazy = make([]int, 16)
+	}
+}
+
+type pair struct{ a, b int }
+
+// write implements writer; hot through the dispatch in round.
+func (r *ring) write(p *ring) {
+	p.buf = append(p.buf, 0)
+}
+
+// trace allocates by design and declares itself off the fault-free path.
+//
+//mobilevet:coldpath diagnostics branch, runs only when tracing is enabled
+func (r *ring) trace(vals []int) {
+	dump := make([]int, len(vals))
+	copy(dump, vals)
+}
+
+// idle is not reachable from any hotpath root: its allocations are fine.
+func idle() []string {
+	m := map[string]int{"a": 1}
+	s := []string{"x"}
+	for k := range m {
+		s = append(s, k)
+	}
+	return s
+}

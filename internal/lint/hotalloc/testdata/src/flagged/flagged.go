@@ -1,0 +1,74 @@
+// Fixture: alloc-inducing constructs on the hot path — reached directly
+// from a //mobilevet:hotpath root, through static call propagation, through
+// a taken function value, and through interface dispatch.
+package flagged
+
+import "fmt"
+
+type sink struct {
+	buf   []int
+	stash []int
+	name  string
+}
+
+// round is a per-round entry point.
+//
+//mobilevet:hotpath
+func (s *sink) round(vals []int) {
+	m := make([]int, 8) // want `make allocates`
+	_ = m
+	p := new(sink) // want `new allocates`
+	_ = p
+	s.helper(vals)
+	s.dispatch(s)
+	h := taken
+	h(len(vals))
+}
+
+// helper is hot by static propagation from round.
+func (s *sink) helper(vals []int) {
+	s.stash = append(s.buf, vals...) // want `append into a different slice may grow`
+	tmp := []int{1, 2}               // want `slice literal allocates`
+	_ = tmp
+	fmt.Sprintf("%d", len(vals)) // want `fmt\.Sprintf formats and allocates`
+	n := len(vals)
+	f := func() int { return n } // want `capturing closure allocates`
+	_ = f()
+	g := s.helper // want `method value allocates a closure`
+	_ = g
+	s.name = s.name + "!" // want `string concatenation allocates`
+	go s.dispatch(s)      // want `go statement allocates`
+}
+
+// taken is hot because round takes its value and hands it around.
+func taken(n int) {
+	var box interface{}
+	box = n // want `int boxes into interface\{\}`
+	_ = box
+}
+
+// stepper's step goes hot when dispatch (hot) calls through the interface;
+// the concrete implementation below inherits it.
+type stepper interface {
+	step(n int)
+}
+
+func (s *sink) dispatch(st stepper) {
+	st.step(1)
+}
+
+// step implements stepper, so it is hot via CHA resolution.
+func (s *sink) step(n int) {
+	lookup := map[int]int{n: n} // want `map literal allocates`
+	_ = lookup
+	esc := &sink{} // want `address-taken composite literal escapes`
+	_ = esc
+}
+
+// badCold has a coldpath directive with no reason — the reason is the
+// documentation trail, so its absence is itself a finding.
+//
+//mobilevet:coldpath
+func badCold() { // want `coldpath directive: a reason is required`
+	_ = make([]int, 1)
+}

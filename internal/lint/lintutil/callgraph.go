@@ -1,0 +1,201 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A CallGraph is a CHA-style (class-hierarchy) view of one package's
+// declared functions: static call edges resolved through go/types,
+// interface calls kept symbolic as edges to the interface's method object
+// (resolve to concrete methods with Implementations), and the named
+// functions whose values are taken without being called (handed to worker
+// pools, stored in structs) — conservative extra edges for reachability.
+// Function literal bodies are attributed to the enclosing declared
+// function: a closure runs on whatever path invokes the function that
+// built it, which is exactly how the whole-path analyzers reason.
+type CallGraph struct {
+	decls  map[*types.Func]*ast.FuncDecl
+	calls  map[*types.Func][]*types.Func
+	values map[*types.Func][]*types.Func
+	funcs  []*types.Func // declaration order
+}
+
+// NewCallGraph builds the graph over the package's non-test files.
+func NewCallGraph(fset *token.FileSet, files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		decls:  make(map[*types.Func]*ast.FuncDecl),
+		calls:  make(map[*types.Func][]*types.Func),
+		values: make(map[*types.Func][]*types.Func),
+	}
+	for _, file := range files {
+		if IsTestFile(fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			g.funcs = append(g.funcs, fn)
+			g.scanBody(info, fn, fd.Body)
+		}
+	}
+	return g
+}
+
+// scanBody records the call and value-taken edges of one function body.
+func (g *CallGraph) scanBody(info *types.Info, fn *types.Func, body *ast.BlockStmt) {
+	// Identifiers appearing as the operator of a call: these are call
+	// edges, every other function-valued identifier is a value taken.
+	callIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			callIdents[fun] = true
+		case *ast.SelectorExpr:
+			callIdents[fun.Sel] = true
+		}
+		if callee := CalleeFunc(info, call); callee != nil {
+			g.calls[fn] = append(g.calls[fn], callee)
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || callIdents[id] {
+			return true
+		}
+		if f, ok := info.Uses[id].(*types.Func); ok {
+			g.values[fn] = append(g.values[fn], f)
+		}
+		return true
+	})
+}
+
+// Funcs returns the functions declared in the scanned files, in
+// declaration order.
+func (g *CallGraph) Funcs() []*types.Func { return g.funcs }
+
+// Decl returns the declaration of fn, or nil when fn is not declared in the
+// scanned files (imported, or an interface method).
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// Callees returns the functions fn calls: package-level functions and
+// concrete methods for static calls, interface method objects for dynamic
+// ones.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.calls[fn] }
+
+// ValuesTaken returns the named functions referenced as values (not
+// called) inside fn — candidates to run wherever fn hands them.
+func (g *CallGraph) ValuesTaken(fn *types.Func) []*types.Func { return g.values[fn] }
+
+// Reachable walks call and value-taken edges breadth-first from roots and
+// returns the set of functions reached, roots included. The optional
+// expand hook contributes extra successors per function — e.g. resolving
+// interface method edges to their local implementations.
+func (g *CallGraph) Reachable(roots []*types.Func, expand func(*types.Func) []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	queue := append([]*types.Func(nil), roots...)
+	for _, r := range queue {
+		seen[r] = true
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		next := append(append([]*types.Func(nil), g.calls[fn]...), g.values[fn]...)
+		if expand != nil {
+			next = append(next, expand(fn)...)
+		}
+		for _, s := range next {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return seen
+}
+
+// IsInterfaceMethod reports whether fn is declared by an interface type
+// (its calls dispatch dynamically).
+func IsInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// Implementations returns, for an interface method, the corresponding
+// concrete methods of pkg's package-level named types that satisfy the
+// interface (through value or pointer receiver).
+func Implementations(pkg *types.Package, ifaceFn *types.Func) []*types.Func {
+	sig, ok := ifaceFn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var impls []*types.Func
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		T := tn.Type()
+		if types.IsInterface(T) {
+			continue
+		}
+		recv := T
+		if !types.Implements(T, iface) {
+			ptr := types.NewPointer(T)
+			if !types.Implements(ptr, iface) {
+				continue
+			}
+			recv = ptr
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, pkg, ifaceFn.Name())
+		if m, ok := obj.(*types.Func); ok {
+			impls = append(impls, m)
+		}
+	}
+	return impls
+}
+
+// directiveMarker prefixes the analyzer control comments mobilevet owns.
+const directiveMarker = "//mobilevet:"
+
+// FuncDirective scans a function declaration's doc comment for a
+// //mobilevet:<name> directive and returns its trailing argument text
+// (trimmed, possibly empty) and whether the directive is present.
+func FuncDirective(fd *ast.FuncDecl, name string) (string, bool) {
+	if fd == nil || fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directiveMarker+name)
+		if !ok {
+			continue
+		}
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // e.g. //mobilevet:hotpathXYZ — a different word
+		}
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}

@@ -1,27 +1,35 @@
-// Package lint assembles the mobilevet analyzer suite: five analyzers
+// Package lint assembles the mobilevet analyzer suite: eight analyzers
 // encoding the simulator's correctness invariants as machine-checked rules.
 // Each analyzer guards a contract that ordinary tests cannot see violated —
-// slab reuse, seed-determinism, map-order folds, the port-native boundary,
-// and the observer read-only discipline. cmd/mobilevet runs the suite
+// slab reuse and cross-round parity, seed-determinism, map-order folds, the
+// port-native boundary, the observer read-only discipline, shard-worker
+// write isolation, and hot-path allocation freedom (propagated across
+// package boundaries via exported facts). cmd/mobilevet runs the suite
 // standalone or as a `go vet -vettool`.
 package lint
 
 import (
 	"mobilecongest/internal/lint/analysis"
+	"mobilecongest/internal/lint/arenaparity"
 	"mobilecongest/internal/lint/detrand"
+	"mobilecongest/internal/lint/hotalloc"
 	"mobilecongest/internal/lint/maprange"
 	"mobilecongest/internal/lint/obsreadonly"
 	"mobilecongest/internal/lint/portnative"
+	"mobilecongest/internal/lint/shardsafe"
 	"mobilecongest/internal/lint/slabretain"
 )
 
 // Suite returns the full mobilevet analyzer set in stable order.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		arenaparity.Analyzer,
 		detrand.Analyzer,
+		hotalloc.Analyzer,
 		maprange.Analyzer,
 		obsreadonly.Analyzer,
 		portnative.Analyzer,
+		shardsafe.Analyzer,
 		slabretain.Analyzer,
 	}
 }

@@ -1,0 +1,323 @@
+// Package shardsafe defines an analyzer guarding the shard engine's
+// write-isolation discipline: the functions a shardPool runs concurrently
+// (the parallel-for bodies of the compute and gather phases, and the settle
+// chunking) may only write through their own locals, their parameters —
+// which the kick protocol hands them as shard-local views — and slots of
+// shared slices indexed by a value derived from the shard parameter. A
+// write to a package-level variable, or to captured/receiver state with no
+// shard-derived index on the path, is a data race between workers that the
+// race detector only catches when two shards actually collide in a test
+// run; this analyzer rejects it statically.
+//
+// Worker entry points are recognized syntactically: any argument handed to
+// the run method of a type named shardPool, resolved one local-variable
+// step deep (`compute := func(k int) {...}; pool.run(compute)`), plus every
+// same-package function statically reachable from those bodies.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobilecongest/internal/lint/analysis"
+	"mobilecongest/internal/lint/lintutil"
+)
+
+// Analyzer flags shard-pool worker code writing shared state without a
+// shard-derived index.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc: "flags writes from shardPool worker functions to package-level variables or to " +
+		"captured/receiver state not indexed by a shard-derived value; workers own only their " +
+		"locals, parameters, and shard slots",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := lintutil.NewCallGraph(pass.Fset, pass.Files, pass.TypesInfo)
+	info := pass.TypesInfo
+
+	// Find worker entries: arguments of (_ shardPool).run(...) calls.
+	type litEntry struct {
+		lit  *ast.FuncLit
+		host *ast.FuncDecl // function whose body declares the literal
+	}
+	var lits []litEntry
+	var named []*types.Func
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			varInit := make(map[types.Object]ast.Expr)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				s, ok := n.(*ast.AssignStmt)
+				if !ok || len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := lintutil.ObjOf(info, id); obj != nil {
+							varInit[obj] = s.Rhs[i]
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isShardPoolRun(info, call) || len(call.Args) == 0 {
+					return true
+				}
+				lit, fn := resolveEntry(info, varInit, call.Args[0], true)
+				if lit != nil {
+					lits = append(lits, litEntry{lit: lit, host: fd})
+				}
+				if fn != nil {
+					named = append(named, fn)
+				}
+				return true
+			})
+		}
+	}
+	if len(lits) == 0 && len(named) == 0 {
+		return nil
+	}
+
+	// Close over static calls: everything a worker body invokes runs under
+	// the same isolation contract.
+	var seeds []*types.Func
+	seeds = append(seeds, named...)
+	for _, e := range lits {
+		ast.Inspect(e.lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := lintutil.CalleeFunc(info, call); fn != nil {
+					seeds = append(seeds, fn)
+				}
+			}
+			return true
+		})
+	}
+	workers := g.Reachable(seeds, nil)
+
+	for _, e := range lits {
+		checkWorker(pass, e.lit, e.lit.Type.Params, nil)
+	}
+	for fn := range workers {
+		if fn.Pkg() != pass.Pkg {
+			continue
+		}
+		decl := g.Decl(fn)
+		if decl == nil {
+			continue
+		}
+		var recv *ast.FieldList
+		if decl.Recv != nil {
+			recv = decl.Recv
+		}
+		checkWorker(pass, decl, decl.Type.Params, recv)
+	}
+	return nil
+}
+
+// isShardPoolRun reports whether call invokes the run method of a type
+// named shardPool (matched by name so fixtures can declare their own).
+func isShardPoolRun(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "run" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	return ok && n.Obj().Name() == "shardPool"
+}
+
+// resolveEntry resolves a pool.run argument to a function literal or a
+// named function, following one local-variable indirection.
+func resolveEntry(info *types.Info, varInit map[types.Object]ast.Expr, e ast.Expr, followVar bool) (*ast.FuncLit, *types.Func) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return x, nil
+	case *ast.Ident:
+		switch obj := lintutil.ObjOf(info, x).(type) {
+		case *types.Func:
+			return nil, obj
+		case *types.Var:
+			if followVar {
+				if init, ok := varInit[obj]; ok {
+					return resolveEntry(info, varInit, init, false)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+			return nil, fn
+		}
+	}
+	return nil, nil
+}
+
+// checkWorker verifies one worker function's writes. node is the literal or
+// declaration whose span defines "local"; params are the shard-local
+// parameters (taint sources); recv, when non-nil, is the receiver — shared
+// coordinator state, deliberately NOT a taint source.
+func checkWorker(pass *analysis.Pass, node ast.Node, params *ast.FieldList, recv *ast.FieldList) {
+	info := pass.TypesInfo
+	var body *ast.BlockStmt
+	switch n := node.(type) {
+	case *ast.FuncLit:
+		body = n.Body
+	case *ast.FuncDecl:
+		body = n.Body
+	}
+	if body == nil {
+		return
+	}
+
+	receiver := make(map[types.Object]bool)
+	if recv != nil {
+		for _, f := range recv.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					receiver[obj] = true
+				}
+			}
+		}
+	}
+
+	// Taint: the shard-local parameters and everything derived from them.
+	taint := make(map[types.Object]bool)
+	if params != nil {
+		for _, f := range params.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					taint[obj] = true
+				}
+			}
+		}
+	}
+	for {
+		before := len(taint)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					var rhs ast.Expr
+					if len(s.Lhs) == len(s.Rhs) {
+						rhs = s.Rhs[i]
+					} else if len(s.Rhs) == 1 {
+						rhs = s.Rhs[0]
+					}
+					if rhs == nil || !lintutil.Mentions(info, rhs, taint) {
+						continue
+					}
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := lintutil.ObjOf(info, id); obj != nil && lintutil.DeclaredWithin(obj, node) {
+							taint[obj] = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if !lintutil.Mentions(info, s.X, taint) {
+					return true
+				}
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := lintutil.ObjOf(info, id); obj != nil {
+							taint[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if len(taint) == before {
+			break
+		}
+	}
+
+	check := func(lhs ast.Expr) {
+		base, indices := splitPath(lhs)
+		if base == nil {
+			return
+		}
+		obj := lintutil.ObjOf(info, base)
+		if obj == nil {
+			return
+		}
+		if lintutil.IsPkgLevel(obj, pass.Pkg) || (obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()) {
+			pass.Reportf(lhs.Pos(), "shard worker writes package-level variable %s; workers own only locals, parameters, and shard slots", base.Name)
+			return
+		}
+		if !receiver[obj] {
+			if taint[obj] || lintutil.DeclaredWithin(obj, node) {
+				return // a local, a parameter, or derived from the shard index
+			}
+		}
+		for _, idx := range indices {
+			if lintutil.Mentions(info, idx, taint) {
+				return // writing this shard's slot of a shared slice
+			}
+		}
+		what := "captured variable"
+		if receiver[obj] {
+			what = "receiver state"
+		}
+		pass.Reportf(lhs.Pos(), "shard worker writes %s %s without a shard-derived index; workers may only write their own shard's slots", what, base.Name)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(s.X)
+		}
+		return true
+	})
+}
+
+// splitPath unwraps an lvalue to its base identifier, collecting the index
+// expressions crossed on the way ("a.b[i][j].c" -> a, [i j]).
+func splitPath(e ast.Expr) (*ast.Ident, []ast.Expr) {
+	var indices []ast.Expr
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, indices
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			indices = append(indices, x.Index)
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil, indices
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"mobilecongest/internal/lint/analysis/analysistest"
+	"mobilecongest/internal/lint/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, "testdata/src", shardsafe.Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,60 @@
+// Fixture: the sanctioned shard-worker write patterns — locals, parameters,
+// shard-indexed slots of captured slices and receiver fields, pointer
+// locals into shard-owned ranges — plus a reasoned suppression for the
+// coordinator-only branch.
+package clean
+
+type shardPool struct{ size int }
+
+func (p *shardPool) run(fn func(k int)) {
+	for i := 0; i < p.size; i++ {
+		fn(i)
+	}
+}
+
+type node struct{ acc int32 }
+
+type engine struct {
+	touched [][]int32
+	active  []int32
+	bounds  []int32
+	nodes   []node
+	pool    *shardPool
+}
+
+func (e *engine) round() {
+	touched, active, bounds, nodes := e.touched, e.active, e.bounds, e.nodes
+	e.pool.run(func(k int) {
+		tl := touched[k][:0]
+		lo, hi := bounds[k], bounds[k+1]
+		for u := lo; u < hi; u++ {
+			s := &nodes[u]
+			s.acc++
+			tl = append(tl, u)
+			active[k]--
+		}
+		touched[k] = tl
+	})
+	e.pool.run(e.settle)
+}
+
+// settle writes receiver state only through shard-derived indices.
+func (e *engine) settle(k int) {
+	lo, hi := e.bounds[k], e.bounds[k+1]
+	for u := lo; u < hi; u++ {
+		e.nodes[u].acc = 0
+	}
+}
+
+var rounds int
+
+// kickCounted: the coordinator shard k==0 is the designated single writer
+// of the round counter; the suppression documents the protocol.
+func (e *engine) kickCounted() {
+	e.pool.run(func(k int) {
+		if k == 0 {
+			//lint:ignore shardsafe coordinator shard runs alone after the barrier; single writer
+			rounds++
+		}
+	})
+}

@@ -1,0 +1,62 @@
+// Fixture: shard-pool worker bodies writing state they do not own — a
+// package-level counter, captured coordinator locals, and receiver fields
+// without a shard-derived index — through literal entries, method-value
+// entries resolved one variable step deep, and statically reached callees.
+package flagged
+
+type shardPool struct{ size int }
+
+func (p *shardPool) run(fn func(k int)) {
+	for i := 0; i < p.size; i++ {
+		fn(i)
+	}
+}
+
+var hits int
+
+type engine struct {
+	touched [][]int32
+	errs    []error
+	total   int
+	pool    *shardPool
+	nodes   []int
+}
+
+func (e *engine) round() {
+	counter := 0
+	e.pool.run(func(k int) {
+		hits++      // want `package-level variable hits`
+		e.total = k // want `captured variable e without a shard-derived index`
+		counter++   // want `captured variable counter without a shard-derived index`
+		e.touched[k] = nil
+		lo := k * 2
+		e.errs[lo] = nil
+	})
+	_ = counter
+}
+
+// compute enters the pool as a method value bound to a local first.
+func (e *engine) compute(k int) {
+	e.total += len(e.nodes) // want `receiver state e without a shard-derived index`
+	e.touched[k] = e.touched[k][:0]
+}
+
+func (e *engine) kick() {
+	compute := e.compute
+	e.pool.run(compute)
+}
+
+// helper is not handed to the pool itself but is reached from gather, so it
+// runs under the same isolation contract.
+func (e *engine) gather(k int) {
+	e.helper(k)
+}
+
+func (e *engine) helper(j int) {
+	e.total = j // want `receiver state e without a shard-derived index`
+	e.errs[j] = nil
+}
+
+func (e *engine) kickGather() {
+	e.pool.run(e.gather)
+}
